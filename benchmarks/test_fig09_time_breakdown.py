@@ -1,0 +1,53 @@
+"""Figure 9: execution-time breakdown normalised to pNPU-co.
+
+Single NPU / single PRIME bank (no bank parallelism).  The paper's
+findings: pNPU-pim removes most of the memory-access time; PRIME
+drives it to zero (hidden behind the Buffer subarrays).
+"""
+
+from repro.eval.experiments import figure9
+from repro.eval.reporting import render_table
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def test_figure9_breakdown(once):
+    result = once(figure9)
+
+    rows = []
+    for wl in MLBENCH_ORDER:
+        for system in ("pNPU-co", "pNPU-pim", "PRIME"):
+            parts = result.breakdown[wl][system]
+            rows.append(
+                [
+                    wl,
+                    system,
+                    f"{parts['compute+buffer']:.4f}",
+                    f"{parts['memory']:.4f}",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            "Figure 9 — execution time vs pNPU-co (compute+buffer | memory)",
+            ["workload", "system", "compute+buffer", "memory"],
+            rows,
+        )
+    )
+
+    for wl in MLBENCH_ORDER:
+        co = result.breakdown[wl]["pNPU-co"]
+        pim = result.breakdown[wl]["pNPU-pim"]
+        prime = result.breakdown[wl]["PRIME"]
+        # co normalises to 1.0 total
+        assert abs(co["compute+buffer"] + co["memory"] - 1.0) < 1e-9
+        # pim removes most memory time, keeps compute
+        assert pim["memory"] < 0.4 * co["memory"]
+        assert abs(pim["compute+buffer"] - co["compute+buffer"]) < 1e-9
+        # PRIME's total is a small fraction of pNPU-co's
+        assert prime["compute+buffer"] + prime["memory"] < 0.5
+    # PRIME memory time is zero for single-bank workloads
+    for wl in ("CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L"):
+        assert result.breakdown[wl]["PRIME"]["memory"] == 0.0
+    # MNIST-class workloads are memory-dominated on the co-processor
+    for wl in ("CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L"):
+        assert result.breakdown[wl]["pNPU-co"]["memory"] > 0.5

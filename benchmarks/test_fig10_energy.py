@@ -1,0 +1,44 @@
+"""Figure 10: energy-saving factors over the CPU-only baseline.
+
+Series: pNPU-co, pNPU-pim-x64 (x1 omitted — identical energy), PRIME.
+Headline: PRIME ≈ 895× gmean energy saving.
+"""
+
+from repro.eval.experiments import figure10
+from repro.eval.reporting import format_factor, render_table
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def test_figure10_energy_savings(once):
+    result = once(figure10)
+
+    rows = []
+    for system, values in result.savings.items():
+        rows.append(
+            [system]
+            + [format_factor(values[wl]) for wl in MLBENCH_ORDER]
+            + [format_factor(result.gmeans[system])]
+        )
+    print()
+    print(
+        render_table(
+            "Figure 10 — energy saving vs CPU (batch=%d)" % result.batch,
+            ["system", *MLBENCH_ORDER, "gmean"],
+            rows,
+        )
+    )
+
+    for wl in MLBENCH_ORDER:
+        assert (
+            1.0
+            < result.savings["pNPU-co"][wl]
+            < result.savings["pNPU-pim-x64"][wl]
+            < result.savings["PRIME"][wl]
+        ), wl
+    # paper headline ~895x; our substrate lands in the same decade band
+    assert 300 < result.gmeans["PRIME"] < 30_000
+    # MLPs (full crossbars) save more than the small CNNs
+    assert (
+        result.savings["PRIME"]["MLP-L"]
+        > result.savings["PRIME"]["CNN-1"]
+    )

@@ -1,0 +1,56 @@
+"""Figure 11: energy breakdown (compute / buffer / memory) vs pNPU-co.
+
+Paper findings: pNPU-pim-x64 spends the same compute/buffer energy as
+pNPU-co but saves ~93.9% of its memory energy; PRIME cuts all three
+components dramatically; CNNs are relatively buffer-heavy, MLPs
+memory-heavy.
+"""
+
+from repro.eval.experiments import figure11
+from repro.eval.reporting import render_table
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def test_figure11_energy_breakdown(once):
+    result = once(figure11)
+
+    rows = []
+    for wl in MLBENCH_ORDER:
+        for system in ("pNPU-co", "pNPU-pim-x64", "PRIME"):
+            parts = result.breakdown[wl][system]
+            rows.append(
+                [
+                    wl,
+                    system,
+                    f"{parts['compute']:.4f}",
+                    f"{parts['buffer']:.4f}",
+                    f"{parts['memory']:.4f}",
+                ]
+            )
+    print()
+    print(
+        render_table(
+            "Figure 11 — energy vs pNPU-co",
+            ["workload", "system", "compute", "buffer", "memory"],
+            rows,
+        )
+    )
+    saving = result.memory_energy_saving_pim()
+    print(f"pNPU-pim memory-energy saving vs pNPU-co: {saving:.1%} "
+          "(paper: 93.9%)")
+
+    assert 0.7 < saving < 0.99
+    for wl in MLBENCH_ORDER:
+        co = result.breakdown[wl]["pNPU-co"]
+        pim = result.breakdown[wl]["pNPU-pim-x64"]
+        prime = result.breakdown[wl]["PRIME"]
+        assert abs(sum(co.values()) - 1.0) < 1e-9
+        assert abs(pim["compute"] - co["compute"]) < 1e-9
+        assert abs(pim["buffer"] - co["buffer"]) < 1e-9
+        assert pim["memory"] < co["memory"]
+        assert sum(prime.values()) < 0.25
+    cnn = result.breakdown["CNN-1"]["PRIME"]
+    mlp = result.breakdown["MLP-L"]["PRIME"]
+    assert cnn["buffer"] / sum(cnn.values()) > mlp["buffer"] / sum(
+        mlp.values()
+    )

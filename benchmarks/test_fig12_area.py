@@ -1,0 +1,41 @@
+"""Figure 12 / §V-D: area overhead.
+
+Paper: 5.76% chip-level overhead with 2 FF + 1 Buffer subarray per
+bank; an FF mat grows 60% (driver 23 pts, subtraction+sigmoid 29 pts,
+control/mux 8 pts).
+"""
+
+from repro.eval.experiments import figure12
+from repro.eval.reporting import render_table
+
+
+def test_figure12_area_overhead(once):
+    result = once(figure12)
+
+    print()
+    print(
+        render_table(
+            "Figure 12 — area overhead",
+            ["quantity", "value", "paper"],
+            [
+                ["chip-level overhead", f"{result.chip_overhead:.2%}", "5.76%"],
+                ["FF mat growth", f"{result.ff_mat_overhead:.0%}", "60%"],
+                *[
+                    [f"  {name}", f"{frac:.1%}", ref]
+                    for (name, frac), ref in zip(
+                        result.mat_breakdown.items(),
+                        ["23/60", "29/60", "8/60"],
+                    )
+                ],
+            ],
+        )
+    )
+
+    assert abs(result.chip_overhead - 0.0576) < 0.001
+    assert abs(result.ff_mat_overhead - 0.60) < 0.005
+    assert abs(result.mat_breakdown["driver"] - 0.23 / 0.60) < 0.01
+    assert (
+        abs(result.mat_breakdown["subtraction+sigmoid"] - 0.29 / 0.60)
+        < 0.01
+    )
+    assert abs(result.mat_breakdown["control/mux/etc"] - 0.08 / 0.60) < 0.01

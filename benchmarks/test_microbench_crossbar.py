@@ -1,0 +1,46 @@
+"""Microbenchmarks of the functional substrate itself.
+
+Not a paper figure — these time the simulator's hot paths (composed
+MVM, controller command decode) so regressions in the functional model
+are visible.
+"""
+
+import numpy as np
+
+from repro.crossbar.engine import CrossbarMVMEngine
+from repro.memory.controller import parse_command
+
+
+def test_engine_mvm_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    engine = CrossbarMVMEngine()
+    engine.program(rng.integers(-255, 256, (256, 128)))
+    inputs = rng.integers(0, 64, (32, 256))
+
+    result = benchmark(lambda: engine.mvm_batch(inputs, with_noise=False))
+    assert result.shape == (32, 128)
+
+
+def test_engine_program_latency(benchmark):
+    rng = np.random.default_rng(1)
+    weights = rng.integers(-255, 256, (256, 128))
+
+    def program():
+        engine = CrossbarMVMEngine()
+        engine.program(weights)
+        return engine
+
+    engine = benchmark(program)
+    assert engine.rows_used == 256
+
+
+def test_controller_command_decode(benchmark):
+    texts = [
+        "prog/comp/mem [5] [1]",
+        "bypass sigmoid [2] [0]",
+        "fetch [mem 0] to [buf 64] x2048",
+        "store [FF 3] to [buf 16] x256",
+    ] * 64
+
+    decoded = benchmark(lambda: [parse_command(t) for t in texts])
+    assert len(decoded) == 256

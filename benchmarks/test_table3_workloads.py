@@ -1,0 +1,53 @@
+"""Table III: the MlBench benchmark suite.
+
+Regenerates the table's topologies and checks the published sizes:
+VGG-D has 16 weight layers, ~1.4e8 synapses, and needs ~1.6e10
+operations per input.
+"""
+
+from repro.eval.reporting import render_table
+from repro.eval.workloads import MLBENCH_ORDER, get_workload
+from repro.nn.topology import ConvSpec, DenseSpec
+
+
+def build_all():
+    return {name: get_workload(name).topology() for name in MLBENCH_ORDER}
+
+
+def test_table3_mlbench(once):
+    topologies = once(build_all)
+
+    rows = []
+    for name in MLBENCH_ORDER:
+        top = topologies[name]
+        weighted = [
+            s for s in top.specs if isinstance(s, (ConvSpec, DenseSpec))
+        ]
+        rows.append(
+            [
+                name,
+                str(top.input_shape),
+                len(weighted),
+                f"{top.total_synapses:,}",
+                f"{top.total_macs:.3e}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            "Table III — MlBench",
+            ["name", "input", "weight layers", "synapses", "ops/input"],
+            rows,
+        )
+    )
+
+    vgg = topologies["VGG-D"]
+    weighted = [
+        s for s in vgg.specs if isinstance(s, (ConvSpec, DenseSpec))
+    ]
+    assert len(weighted) == 16
+    assert abs(vgg.total_synapses - 1.4e8) / 1.4e8 < 0.02
+    assert abs(vgg.total_macs - 1.6e10) / 1.6e10 < 0.06
+    assert topologies["MLP-S"].total_synapses == 519500
+    assert topologies["CNN-1"].layers[1].output_shape == (12, 12, 5)
+    assert topologies["CNN-2"].layers[1].output_shape == (11, 11, 10)

@@ -1,0 +1,95 @@
+"""Datacenter-scale inference: MlBench across all four systems.
+
+The scenario of the paper's evaluation: a server runs image-
+recognition NNs continuously ("executed tens of thousands of times"),
+so steady-state throughput and energy per inference decide the bill.
+This example sweeps all six MlBench workloads over the CPU, pNPU-co,
+pNPU-pim (x1/x64), and PRIME, printing the Figure 8/10 series, and
+then zooms into VGG-D's inter-bank pipeline.
+
+Run:  python examples/datacenter_inference.py
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import PrimeCompiler
+from repro.eval.experiments import figure8, figure10, run_all_systems
+from repro.eval.reporting import format_factor, render_table
+from repro.eval.workloads import MLBENCH_ORDER, get_workload
+
+
+def main() -> None:
+    batch = 8192
+    print(f"== MlBench, batch {batch}, steady-state throughput ==\n")
+    fig8 = figure8(batch=batch)
+    rows = [
+        [system]
+        + [format_factor(fig8.speedups[system][wl]) for wl in MLBENCH_ORDER]
+        + [format_factor(fig8.gmeans[system])]
+        for system in ("pNPU-co", "pNPU-pim-x1", "pNPU-pim-x64", "PRIME")
+    ]
+    print(
+        render_table(
+            "speedup vs CPU (Figure 8)",
+            ["system", *MLBENCH_ORDER, "gmean"],
+            rows,
+        )
+    )
+
+    fig10 = figure10(batch=batch)
+    rows = [
+        [system]
+        + [format_factor(fig10.savings[system][wl]) for wl in MLBENCH_ORDER]
+        + [format_factor(fig10.gmeans[system])]
+        for system in ("pNPU-co", "pNPU-pim-x64", "PRIME")
+    ]
+    print()
+    print(
+        render_table(
+            "energy saving vs CPU (Figure 10)",
+            ["system", *MLBENCH_ORDER, "gmean"],
+            rows,
+        )
+    )
+
+    # -- absolute numbers for one workload -----------------------------
+    print("\n== absolute numbers: MLP-L ==")
+    comparison = run_all_systems(batch=batch, workloads=("MLP-L",))
+    rows = []
+    for system, rep in comparison.reports["MLP-L"].items():
+        rows.append(
+            [
+                system,
+                f"{rep.latency_per_sample * 1e6:10.3f} us",
+                f"{rep.energy_per_sample * 1e6:10.3f} uJ",
+            ]
+        )
+    print(
+        render_table(
+            "per-inference cost",
+            ["system", "latency", "energy"],
+            rows,
+        )
+    )
+
+    # -- VGG-D: the large-scale mapping ---------------------------------
+    print("\n== VGG-D inter-bank pipeline (§IV-B1) ==")
+    plan = PrimeCompiler().compile(get_workload("VGG-D").topology())
+    print(
+        f"scale: {plan.scale.value}; {plan.base_pairs} base mat pairs "
+        f"over {plan.banks_used} banks; "
+        f"{plan.total_pairs} pairs after replication "
+        f"({plan.utilization_after_replication:.1%} of the allocation)"
+    )
+    spanned = [m for m in plan.weight_layers if m.banks_spanned > 1]
+    for m in spanned:
+        print(
+            f"layer {m.traffic.name}: {m.pairs} pairs spanning "
+            f"{m.banks_spanned} banks"
+        )
+    for note in plan.notes:
+        print("note:", note)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Yield study: how stuck-at faults and wire resistance hit accuracy.
+
+Fabricated crossbars ship with stuck-at-HRS/LRS cells and finite wire
+resistance.  This example sweeps both non-idealities on a trained
+classifier running through the functional crossbar pipeline — the
+reliability analysis a PRIME adopter would run before choosing array
+sizes and redundancy.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import parse_topology, synthetic_mnist
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.crossbar.engine import CrossbarMVMEngine
+from repro.crossbar.pair import DifferentialPair
+from repro.device.faults import FaultMap
+from repro.device.irdrop import worst_case_attenuation
+from repro.eval.reporting import render_table
+from repro.params.crossbar import CrossbarParams
+from repro.params.reram import PT_TIO2_DEVICE
+
+
+def train_reference():
+    x, y = synthetic_mnist(4400, flat=True, seed=42)
+    topology = parse_topology("fault-mlp", "784-64-10")
+    net = topology.build(
+        rng=np.random.default_rng(5), hidden_activation="relu"
+    )
+    net.train_sgd(
+        x[:4000], y[:4000], epochs=15, batch_size=32, learning_rate=0.1,
+        rng=np.random.default_rng(6),
+    )
+    return topology, net, x[4000:], y[4000:]
+
+
+def faulty_accuracy(topology, net, x, y, fault_rate, seed=0):
+    """Accuracy with stuck-at faults injected into every engine."""
+    params = CrossbarParams()
+    compiler = PrimeCompiler()
+    executor = PrimeExecutor()
+    plan = compiler.compile(topology)
+    quantized = executor.quantize_layer_matrices(net, plan)
+    rng = np.random.default_rng(seed)
+    programmed = []
+    for mapping, (w_int, w_fmt) in zip(plan.weight_layers, quantized):
+        tiles = [
+            [None] * mapping.col_blocks for _ in range(mapping.row_blocks)
+        ]
+        for rb, cb, tile in executor.iter_tiles(mapping, w_int):
+            engine = CrossbarMVMEngine(params)
+            faults = tuple(
+                FaultMap.random(
+                    params.rows,
+                    params.cols,
+                    rate_hrs=fault_rate / 2,
+                    rate_lrs=fault_rate / 2,
+                    rng=rng,
+                )
+                for _ in range(2)
+            )
+            engine.pair = DifferentialPair(params, fault_maps=faults)
+            engine.program(tile)
+            tiles[rb][cb] = engine
+        programmed.append((tiles, w_fmt))
+    out = executor.run_functional(net, plan, x, programmed=programmed)
+    return float(np.mean(np.argmax(out, axis=1) == y))
+
+
+def main() -> None:
+    topology, net, x_test, y_test = train_reference()
+    x_eval, y_eval = x_test[:200], y_test[:200]
+    float_acc = net.accuracy(x_eval, y_eval)
+    print(f"float accuracy: {float_acc:.3f}\n")
+
+    rows = []
+    for rate in (0.0, 0.005, 0.02, 0.05, 0.10):
+        acc = faulty_accuracy(topology, net, x_eval, y_eval, rate)
+        rows.append([f"{rate:.1%}", f"{acc:.3f}"])
+    print(
+        render_table(
+            "stuck-at fault sweep (half HRS, half LRS)",
+            ["fault rate", "accuracy"],
+            rows,
+        )
+    )
+
+    print()
+    rows = []
+    for r_wire in (0.5, 1.0, 2.0, 5.0):
+        loss = worst_case_attenuation(
+            PT_TIO2_DEVICE.g_on, 256, 256, r_wire
+        )
+        rows.append([f"{r_wire:.1f} ohm", f"{loss:.1%}"])
+    print(
+        render_table(
+            "worst-case IR-drop current loss (256x256 mat)",
+            ["wire R per cell", "corner-cell loss"],
+            rows,
+        )
+    )
+    print(
+        "\ntakeaway: even sub-percent stuck-cell rates visibly cost "
+        "accuracy — motivating the write-verify, remapping, and "
+        "compensation schemes the paper cites — and wire resistance "
+        "bounds practical array sizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: deploy a digit classifier onto PRIME.
+
+Trains a small MLP off-line (as the paper assumes), then walks the
+five-call software/hardware interface of Figure 7:
+
+    Map_Topology -> Program_Weight -> Config_Datapath -> Run -> Post_Proc
+
+and finally reports the analytical speedup/energy estimate of the
+mapped network against the CPU-only baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CpuModel, PrimeSession, parse_topology, synthetic_mnist
+
+
+def main() -> None:
+    # --- off-line training (the paper trains NNs off-line too) -------
+    print("== training a 784-64-10 digit classifier off-line ==")
+    x, y = synthetic_mnist(4400, flat=True, seed=42)
+    x_train, y_train = x[:4000], y[:4000]
+    x_test, y_test = x[4000:], y[4000:]
+    topology = parse_topology("quickstart-mlp", "784-64-10")
+    net = topology.build(
+        rng=np.random.default_rng(5), hidden_activation="relu"
+    )
+    result = net.train_sgd(
+        x_train,
+        y_train,
+        epochs=15,
+        batch_size=32,
+        learning_rate=0.1,
+        rng=np.random.default_rng(6),
+        val_x=x_test,
+        val_labels=y_test,
+    )
+    print(f"float accuracy after training: {result.final_accuracy:.3f}")
+
+    # --- the five-call PRIME API --------------------------------------
+    print("\n== deploying onto PRIME (bank 0) ==")
+    session = PrimeSession(seed=0)
+    plan = session.map_topology(topology)  # 1. Map_Topology
+    print(
+        f"mapping: scale={plan.scale.value}, "
+        f"{plan.base_pairs} mat pairs "
+        f"({plan.utilization_before_replication:.1%} of the bank), "
+        f"{plan.bank_replicas} bank replicas"
+    )
+    session.program_weight(net)  # 2. Program_Weight
+    commands = session.config_datapath()  # 3. Config_Datapath
+    print(f"configured datapath with {len(commands)} controller commands,")
+    print(f"e.g. {commands[0]!r}, {commands[1]!r}")
+
+    outputs = session.run(x_test[:200])  # 4. Run
+    labels = session.post_proc(outputs)  # 5. Post_Proc
+    accuracy = float(np.mean(labels == y_test[:200]))
+    print(f"in-memory (6-bit input / 8-bit weight) accuracy: {accuracy:.3f}")
+
+    # --- what did we buy? ---------------------------------------------
+    print("\n== analytical comparison vs the CPU baseline ==")
+    batch = 4096
+    prime = session.estimate(batch=batch)
+    cpu = CpuModel().estimate(topology, batch=batch)
+    print(f"CPU   : {cpu.latency_s * 1e3:8.2f} ms, {cpu.energy_j:10.6f} J")
+    print(
+        f"PRIME : {prime.latency_s * 1e3:8.2f} ms, "
+        f"{prime.energy_j:10.6f} J"
+    )
+    print(
+        f"speedup {prime.speedup_over(cpu):,.0f}x, "
+        f"energy saving {prime.energy_saving_over(cpu):,.0f}x"
+    )
+
+    session.release()
+    print("\nFF subarrays released back to normal memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""SNN on PRIME: the paper's future-work extension, working.
+
+Converts a trained digit MLP to a rate-coded spiking network and runs
+it on simulated crossbars.  Spikes are binary, so every timestep is a
+single-level wordline drive — no input composing, which is exactly why
+ReRAM is attractive for SNNs (§II-B: "ReRAM can also implement SNN.
+Making PRIME to support SNN is our future work.").
+
+Run:  python examples/snn_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import parse_topology, synthetic_mnist
+from repro.nn.snn import SpikingNetwork
+
+
+def main() -> None:
+    print("== train the ANN off-line ==")
+    x, y = synthetic_mnist(4400, flat=True, seed=42)
+    x_train, y_train = x[:4000], y[:4000]
+    x_test, y_test = x[4000:], y[4000:]
+    topology = parse_topology("snn-base", "784-64-10")
+    net = topology.build(
+        rng=np.random.default_rng(5), hidden_activation="relu"
+    )
+    net.train_sgd(
+        x_train, y_train, epochs=15, batch_size=32, learning_rate=0.1,
+        rng=np.random.default_rng(6),
+    )
+    ann_acc = net.accuracy(x_test, y_test)
+    print(f"ANN accuracy: {ann_acc:.3f}")
+
+    print("\n== convert to a rate-coded SNN ==")
+    snn = SpikingNetwork.from_ann(net, x_train[:500])
+    print(
+        f"{len(snn.layers)} spiking layers with "
+        f"{[l.weight.shape for l in snn.layers]} synapse matrices"
+    )
+
+    print("\n== latency/accuracy trade-off (digital synapses) ==")
+    for timesteps in (8, 32, 128):
+        acc = snn.accuracy(
+            x_test[:200], y_test[:200], timesteps=timesteps,
+            rng=np.random.default_rng(7),
+        )
+        print(f"T={timesteps:4d}: accuracy {acc:.3f}")
+
+    print("\n== the same SNN on crossbar synapses ==")
+    snn.program_crossbars(rng=np.random.default_rng(8))
+    acc = snn.accuracy(
+        x_test[:200], y_test[:200], timesteps=128,
+        rng=np.random.default_rng(7), backend="crossbar",
+    )
+    print(
+        f"crossbar backend (8-bit composed weights, binary spikes): "
+        f"{acc:.3f}"
+    )
+    result = snn.run(
+        x_test[:5], timesteps=64, rng=np.random.default_rng(9),
+        backend="crossbar",
+    )
+    print("output spike counts of 5 samples:")
+    for counts, label in zip(result.spike_counts, y_test[:5]):
+        print(f"  true {label}: {counts.tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""PRIME reproduction: processing-in-memory NN acceleration in
+ReRAM-based main memory (Chi et al., ISCA 2016).
+
+The package layers, bottom-up:
+
+* :mod:`repro.device` / :mod:`repro.crossbar` — functional ReRAM cells
+  and crossbar arrays with PRIME's peripheral circuits.
+* :mod:`repro.precision` — dynamic fixed point and the input/synapse
+  composing scheme.
+* :mod:`repro.memory` — the ReRAM main-memory hierarchy, the PRIME
+  controller, and OS runtime support.
+* :mod:`repro.nn` — the numpy NN substrate (training is off-line, as
+  in the paper).
+* :mod:`repro.core` — the contribution: the five-call developer API,
+  the compile-time mapper, and the executor.
+* :mod:`repro.baselines` — CPU-only and DianNao-style NPU baselines.
+* :mod:`repro.eval` — MlBench and per-figure experiment drivers.
+
+Quickstart::
+
+    from repro import PrimeSession, get_workload, synthetic_mnist
+
+    topology = get_workload("MLP-S").topology()
+    net = topology.build()
+    # ... train net ...
+    session = PrimeSession()
+    session.map_topology(topology)
+    session.program_weight(net)
+    session.config_datapath()
+    outputs = session.run(images)
+    labels = session.post_proc(outputs)
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    DeviceError,
+    CrossbarError,
+    PrecisionError,
+    MemoryError_,
+    ControllerError,
+    MappingError,
+    ExecutionError,
+    WorkloadError,
+)
+from repro.params import (
+    PrimeConfig,
+    DEFAULT_PRIME_CONFIG,
+    CrossbarParams,
+    ReRAMDeviceParams,
+    MemoryOrganization,
+    MemoryTiming,
+)
+from repro.core import (
+    PrimeSession,
+    PrimeCompiler,
+    PrimeExecutor,
+    MappingPlan,
+    NetworkScale,
+)
+from repro.memory import MainMemory, PrimeController
+from repro.nn import Sequential, parse_topology, synthetic_mnist
+from repro.eval import MLBENCH, get_workload
+from repro.baselines import (
+    CpuModel,
+    NpuCoProcessorModel,
+    NpuPimModel,
+    ExecutionReport,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DeviceError",
+    "CrossbarError",
+    "PrecisionError",
+    "MemoryError_",
+    "ControllerError",
+    "MappingError",
+    "ExecutionError",
+    "WorkloadError",
+    "PrimeConfig",
+    "DEFAULT_PRIME_CONFIG",
+    "CrossbarParams",
+    "ReRAMDeviceParams",
+    "MemoryOrganization",
+    "MemoryTiming",
+    "PrimeSession",
+    "PrimeCompiler",
+    "PrimeExecutor",
+    "MappingPlan",
+    "NetworkScale",
+    "MainMemory",
+    "PrimeController",
+    "Sequential",
+    "parse_topology",
+    "synthetic_mnist",
+    "MLBENCH",
+    "get_workload",
+    "CpuModel",
+    "NpuCoProcessorModel",
+    "NpuPimModel",
+    "ExecutionReport",
+    "__version__",
+]

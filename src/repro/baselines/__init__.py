@@ -1,0 +1,22 @@
+"""Baseline system models the paper compares PRIME against.
+
+* :mod:`repro.baselines.cpu` — the CPU-only baseline of Table IV.
+* :mod:`repro.baselines.npu` — the DianNao-style parallel NPU of
+  Table V as a co-processor (pNPU-co) and as a 3D-stacked PIM
+  processor (pNPU-pim, ×1 and ×64).
+* :mod:`repro.baselines.common` — the shared execution-report format
+  and per-layer traffic model.
+"""
+
+from repro.baselines.common import ExecutionReport, LayerTraffic, workload_traffic
+from repro.baselines.cpu import CpuModel
+from repro.baselines.npu import NpuCoProcessorModel, NpuPimModel
+
+__all__ = [
+    "ExecutionReport",
+    "LayerTraffic",
+    "workload_traffic",
+    "CpuModel",
+    "NpuCoProcessorModel",
+    "NpuPimModel",
+]

@@ -1,0 +1,184 @@
+"""Shared report format and per-layer traffic model for all systems.
+
+Every system model (CPU, pNPU-co, pNPU-pim, PRIME) returns an
+:class:`ExecutionReport`; the experiment drivers compare reports to
+build the paper's figures.  :func:`workload_traffic` reduces a
+:class:`~repro.nn.topology.NetworkTopology` to the per-layer operation
+and byte counts every analytical model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.topology import ConvSpec, DenseSpec, NetworkTopology, PoolSpec
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Operation and data-movement counts of one layer, per sample.
+
+    Byte counts are *element* counts; models multiply by their own
+    datapath width (2 B for the NPU's 16-bit fixed point, 4 B for the
+    CPU's floats, 1 B for PRIME's 6-bit dynamic fixed point).
+    """
+
+    name: str
+    macs: int
+    input_elems: int
+    output_elems: int
+    weight_elems: int
+    #: Times the weight matrix is applied per sample (conv pixels).
+    reuse: int
+    is_conv: bool
+    is_pool: bool
+    #: Crossbar matrix dimensions when mapped onto PRIME.
+    matrix_rows: int
+    matrix_cols: int
+
+
+def workload_traffic(topology: NetworkTopology) -> list[LayerTraffic]:
+    """Per-layer traffic for one sample of ``topology``."""
+    layers: list[LayerTraffic] = []
+    for i, info in enumerate(topology.layers):
+        spec = info.spec
+        in_elems = int(np.prod(info.input_shape))
+        out_elems = int(np.prod(info.output_shape))
+        if isinstance(spec, ConvSpec):
+            rows = spec.kernel * spec.kernel * info.input_shape[2]
+            cols = spec.maps
+            reuse = info.output_shape[0] * info.output_shape[1]
+            layers.append(
+                LayerTraffic(
+                    name=f"L{i}-conv{spec.kernel}x{spec.maps}",
+                    macs=info.macs,
+                    input_elems=in_elems,
+                    output_elems=out_elems,
+                    weight_elems=info.synapses,
+                    reuse=reuse,
+                    is_conv=True,
+                    is_pool=False,
+                    matrix_rows=rows,
+                    matrix_cols=cols,
+                )
+            )
+        elif isinstance(spec, PoolSpec):
+            layers.append(
+                LayerTraffic(
+                    name=f"L{i}-pool{spec.size}",
+                    macs=info.macs,
+                    input_elems=in_elems,
+                    output_elems=out_elems,
+                    weight_elems=0,
+                    reuse=out_elems // info.input_shape[2] if info.input_shape[2] else 1,
+                    is_conv=False,
+                    is_pool=True,
+                    matrix_rows=spec.size * spec.size,
+                    matrix_cols=1,
+                )
+            )
+        elif isinstance(spec, DenseSpec):
+            layers.append(
+                LayerTraffic(
+                    name=f"L{i}-fc{spec.units}",
+                    macs=info.macs,
+                    input_elems=in_elems,
+                    output_elems=out_elems,
+                    weight_elems=info.synapses,
+                    reuse=1,
+                    is_conv=False,
+                    is_pool=False,
+                    matrix_rows=in_elems,
+                    matrix_cols=spec.units,
+                )
+            )
+        else:
+            raise WorkloadError(f"unhandled spec {spec!r}")
+    return layers
+
+
+@dataclass
+class ExecutionReport:
+    """Latency/energy result of running a workload on one system.
+
+    Attributes
+    ----------
+    system, workload:
+        Labels for reporting.
+    batch:
+        Samples processed; latency covers the whole batch.
+    latency_s:
+        End-to-end batch latency (critical path).
+    compute_time_s, buffer_time_s, memory_time_s:
+        Non-overlapped time per category (Fig. 9's split).
+    compute_energy_j, buffer_energy_j, memory_energy_j:
+        Energy per category (Fig. 11's split).
+    """
+
+    system: str
+    workload: str
+    batch: int
+    latency_s: float
+    compute_time_s: float = 0.0
+    buffer_time_s: float = 0.0
+    memory_time_s: float = 0.0
+    compute_energy_j: float = 0.0
+    buffer_energy_j: float = 0.0
+    memory_energy_j: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy of the batch."""
+        return (
+            self.compute_energy_j
+            + self.buffer_energy_j
+            + self.memory_energy_j
+        )
+
+    @property
+    def latency_per_sample(self) -> float:
+        """Average per-sample latency."""
+        return self.latency_s / self.batch
+
+    @property
+    def energy_per_sample(self) -> float:
+        """Average per-sample energy."""
+        return self.energy_j / self.batch
+
+    def speedup_over(self, other: "ExecutionReport") -> float:
+        """Throughput speedup of this system vs ``other``."""
+        if self.latency_per_sample <= 0:
+            raise WorkloadError("non-positive latency")
+        return other.latency_per_sample / self.latency_per_sample
+
+    def energy_saving_over(self, other: "ExecutionReport") -> float:
+        """Energy-efficiency factor of this system vs ``other``."""
+        if self.energy_per_sample <= 0:
+            raise WorkloadError("non-positive energy")
+        return other.energy_per_sample / self.energy_per_sample
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Fractions of the latency per category (Fig. 9)."""
+        total = self.compute_time_s + self.buffer_time_s + self.memory_time_s
+        if total <= 0:
+            return {"compute": 0.0, "buffer": 0.0, "memory": 0.0}
+        return {
+            "compute": self.compute_time_s / total,
+            "buffer": self.buffer_time_s / total,
+            "memory": self.memory_time_s / total,
+        }
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Fractions of the energy per category (Fig. 11)."""
+        total = self.energy_j
+        if total <= 0:
+            return {"compute": 0.0, "buffer": 0.0, "memory": 0.0}
+        return {
+            "compute": self.compute_energy_j / total,
+            "buffer": self.buffer_energy_j / total,
+            "memory": self.memory_energy_j / total,
+        }

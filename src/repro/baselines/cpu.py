@@ -1,0 +1,131 @@
+"""The CPU-only baseline (Table IV).
+
+A roofline-style analytical model: every layer is limited by either
+the sustained MAC throughput of the four out-of-order cores or by
+off-chip traffic to the ReRAM main memory.  The L2-resident fraction
+of the weights is fetched once and amortises to nothing; the excess
+working set re-streams from memory every sample.  Energy is active
+package power × busy time plus cache and DRAM traffic energy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.baselines.common import ExecutionReport, LayerTraffic, workload_traffic
+from repro.nn.topology import NetworkTopology
+from repro.params.cpu import CpuParams, DEFAULT_CPU
+from repro.params.memory import (
+    MemoryOrganization,
+    MemoryTiming,
+    DEFAULT_ORGANIZATION,
+    DEFAULT_TIMING,
+)
+
+#: Bytes per element of the CPU's float datapath.
+CPU_ELEM_BYTES = 4
+
+
+class CpuModel:
+    """Analytical CPU-only execution model."""
+
+    def __init__(
+        self,
+        params: CpuParams = DEFAULT_CPU,
+        timing: MemoryTiming = DEFAULT_TIMING,
+        organization: MemoryOrganization = DEFAULT_ORGANIZATION,
+    ) -> None:
+        self.params = params
+        self.timing = timing
+        self.organization = organization
+
+    def estimate(
+        self, topology: NetworkTopology, batch: int = 64
+    ) -> ExecutionReport:
+        """Latency/energy of ``batch`` samples on the CPU."""
+        if batch < 1:
+            raise WorkloadError("batch must be >= 1")
+        layers = workload_traffic(topology)
+        total_weight_bytes = sum(
+            t.weight_elems for t in layers
+        ) * CPU_ELEM_BYTES
+        # Fraction of the working set that thrashes past the L2 and
+        # re-streams from memory every sample (the resident part is
+        # fetched once and amortises to ~nothing over the run).
+        if total_weight_bytes > 0:
+            spill_fraction = max(
+                0.0, 1.0 - self.params.l2_bytes / total_weight_bytes
+            )
+        else:
+            spill_fraction = 0.0
+        bandwidth = self.timing.io_bus_bandwidth()
+
+        compute_s = 0.0
+        memory_s = 0.0
+        dram_bytes = 0.0
+        cache_bytes = 0.0
+        for t in layers:
+            compute_s += self._layer_compute_time(t)
+            layer_dram = self._layer_dram_bytes(t, spill_fraction)
+            dram_bytes += layer_dram
+            # Every MAC touches two operands through the cache
+            # hierarchy; pooling touches each input element once.
+            cache_bytes += 2 * t.macs * CPU_ELEM_BYTES
+            memory_s += layer_dram / bandwidth
+        # The first input always arrives from memory and the final
+        # output returns there, regardless of cache residency.
+        io_bytes = (
+            layers[0].input_elems + layers[-1].output_elems
+        ) * CPU_ELEM_BYTES
+        dram_bytes += io_bytes
+        memory_s += io_bytes / bandwidth
+        # Per-sample costs scale with the batch; DRAM counts already
+        # amortise cached weights across the batch.
+        compute_s *= batch
+        memory_s *= batch
+        dram_bytes *= batch
+        cache_bytes *= batch
+
+        latency = compute_s + memory_s
+        cache_j = cache_bytes * (
+            self.params.e_l1_per_byte + 0.25 * self.params.e_l2_per_byte
+        )
+        compute_j = self.params.power_w * compute_s + cache_j
+        memory_j = (
+            dram_bytes * self.organization.e_offchip_per_byte
+            + self.params.power_w * memory_s  # cores stall but burn power
+        )
+        return ExecutionReport(
+            system="CPU",
+            workload=topology.name,
+            batch=batch,
+            latency_s=latency,
+            compute_time_s=compute_s,
+            memory_time_s=memory_s,
+            compute_energy_j=compute_j,
+            memory_energy_j=memory_j,
+            extras={
+                "spill_fraction": spill_fraction,
+                "dram_bytes": dram_bytes,
+            },
+        )
+
+    def _layer_compute_time(self, t: LayerTraffic) -> float:
+        ops = t.macs
+        if not t.is_pool and not t.is_conv:
+            # Sigmoid/activation evaluation on the output vector.
+            ops += 4 * t.output_elems
+        return ops / self.params.sustained_macs_per_s
+
+    def _layer_dram_bytes(
+        self, t: LayerTraffic, spill_fraction: float
+    ) -> float:
+        weight_traffic = (
+            t.weight_elems * CPU_ELEM_BYTES * spill_fraction
+        )
+        activation_bytes = (t.input_elems + t.output_elems) * CPU_ELEM_BYTES
+        # Activations spill to memory only when they exceed the L2.
+        if activation_bytes <= self.params.l2_bytes:
+            activation_traffic = 0.0
+        else:
+            activation_traffic = activation_bytes
+        return weight_traffic + activation_traffic

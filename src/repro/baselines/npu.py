@@ -1,0 +1,116 @@
+"""The DianNao-style parallel NPU baselines (Table V).
+
+:class:`NpuCoProcessorModel` attaches the NPU to the off-chip memory
+bus (pNPU-co); :class:`NpuPimModel` 3D-stacks it on the memory
+(pNPU-pim) where it sees the wide internal bandwidth and cheap
+accesses, optionally with one NPU per bank (×64).
+
+Datapath model: the 16×16 multiplier array retires 256 MACs/cycle at
+1 GHz.  The 32 KB weight buffer (SB) caches small layers' weights for
+the whole batch; larger weight sets are re-streamed, amortised over a
+small ``weight_reuse_batch`` of samples (NBout can hold partial sums
+for ~1K outputs, enabling batch-tiled weight reuse).  Input/output
+activations of every layer move through memory — the 2 KB NBin/NBout
+cannot hold inter-layer data, which is exactly the data-movement tax
+PRIME's in-memory placement removes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.baselines.common import ExecutionReport, LayerTraffic, workload_traffic
+from repro.nn.topology import NetworkTopology
+from repro.params.npu import NpuParams, PNPU_CO, PNPU_PIM
+
+#: Bytes per element of the NPU's 16-bit fixed-point datapath.
+NPU_ELEM_BYTES = 2
+
+#: Samples over which streamed weights are amortised (batch tiling
+#: bounded by NBout partial-sum capacity).
+WEIGHT_REUSE_BATCH = 8
+
+#: Buffer bytes moved per MAC (NBin broadcast + SB weight stream +
+#: NBout accumulate, per the 16×16 tile dataflow).
+BUFFER_BYTES_PER_MAC = 2.25
+
+
+class NpuCoProcessorModel:
+    """pNPU-co: the NPU as a co-processor on the memory bus."""
+
+    system_name = "pNPU-co"
+
+    def __init__(self, params: NpuParams = PNPU_CO) -> None:
+        self.params = params
+
+    def estimate(
+        self, topology: NetworkTopology, batch: int = 64
+    ) -> ExecutionReport:
+        """Latency/energy of ``batch`` samples on one NPU."""
+        if batch < 1:
+            raise WorkloadError("batch must be >= 1")
+        layers = workload_traffic(topology)
+        compute_s = 0.0
+        buffer_bytes = 0.0
+        memory_bytes = 0.0
+        for t in layers:
+            compute_s += t.macs / self.params.peak_macs_per_s
+            buffer_bytes += BUFFER_BYTES_PER_MAC * t.macs
+            memory_bytes += self._layer_memory_bytes(t, batch)
+        memory_s = memory_bytes / self.params.memory_bandwidth
+        compute_s *= batch
+        memory_s *= batch
+        buffer_bytes *= batch
+        memory_bytes *= batch
+        per_sample_latency = (compute_s + memory_s) / batch
+        latency = self._batch_latency(per_sample_latency, batch)
+        return ExecutionReport(
+            system=self.system_name,
+            workload=topology.name,
+            batch=batch,
+            latency_s=latency,
+            compute_time_s=compute_s * latency / (compute_s + memory_s),
+            memory_time_s=memory_s * latency / (compute_s + memory_s),
+            compute_energy_j=self.params.e_mac
+            * sum(t.macs for t in layers)
+            * batch,
+            buffer_energy_j=buffer_bytes * self.params.e_buffer_per_byte,
+            memory_energy_j=memory_bytes * self.params.e_memory_per_byte,
+            extras={"memory_bytes": memory_bytes},
+        )
+
+    def _batch_latency(self, per_sample: float, batch: int) -> float:
+        return per_sample * batch
+
+    def _layer_memory_bytes(self, t: LayerTraffic, batch: int) -> float:
+        """Average per-sample memory traffic of one layer."""
+        weight_bytes = t.weight_elems * NPU_ELEM_BYTES
+        if weight_bytes <= self.params.weight_buffer_bytes:
+            weight_traffic = weight_bytes / batch  # resident for the batch
+        else:
+            weight_traffic = weight_bytes / WEIGHT_REUSE_BATCH
+        activation_traffic = (
+            t.input_elems + t.output_elems
+        ) * NPU_ELEM_BYTES
+        return weight_traffic + activation_traffic
+
+
+class NpuPimModel(NpuCoProcessorModel):
+    """pNPU-pim: the NPU 3D-stacked on memory, ×1 or ×64 instances."""
+
+    def __init__(
+        self, params: NpuParams = PNPU_PIM, instances: int = 1
+    ) -> None:
+        if instances < 1:
+            raise WorkloadError("instances must be >= 1")
+        if not params.stacked:
+            raise WorkloadError("NpuPimModel requires a stacked NpuParams")
+        super().__init__(params)
+        self.instances = instances
+
+    @property
+    def system_name(self) -> str:  # type: ignore[override]
+        return f"pNPU-pim-x{self.instances}"
+
+    def _batch_latency(self, per_sample: float, batch: int) -> float:
+        waves = -(-batch // self.instances)
+        return per_sample * waves

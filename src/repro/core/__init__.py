@@ -1,0 +1,38 @@
+"""PRIME's primary contribution: the software/hardware interface,
+compile-time mapper, and execution engine.
+
+* :mod:`repro.core.mapping` — mapping-plan data structures.
+* :mod:`repro.core.compiler` — compile-time NN mapping optimisation
+  (§IV-B): replication for small NNs, split-merge for medium NNs,
+  inter-bank pipelining for large NNs, and bank-level parallelism.
+* :mod:`repro.core.executor` — functional in-crossbar inference plus
+  the analytical latency/energy model that produces
+  :class:`~repro.baselines.common.ExecutionReport` objects.
+* :mod:`repro.core.api` — the five-call developer API of Figure 7:
+  ``Map_Topology``, ``Program_Weight``, ``Config_Datapath``, ``Run``,
+  ``Post_Proc``.
+"""
+
+from repro.core.mapping import (
+    LayerMapping,
+    MappingPlan,
+    NetworkScale,
+)
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.core.api import PrimeSession
+from repro.core.commands import CommandStreamRunner
+from repro.core.scheduler import BankScheduler, Deployment, co_schedule
+
+__all__ = [
+    "LayerMapping",
+    "MappingPlan",
+    "NetworkScale",
+    "PrimeCompiler",
+    "PrimeExecutor",
+    "PrimeSession",
+    "CommandStreamRunner",
+    "BankScheduler",
+    "Deployment",
+    "co_schedule",
+]

@@ -1,0 +1,254 @@
+"""Compile-time NN mapping optimisation (§IV-B).
+
+The compiler turns a :class:`~repro.nn.topology.NetworkTopology` into a
+:class:`~repro.core.mapping.MappingPlan`:
+
+1. **Tiling.**  Every weight layer becomes a (rows+1) × cols matrix
+   (the +1 row holds the bias, driven with input "1", §III-E) tiled
+   over 256×128 differential pairs.  Multi-block layers are the
+   *split-merge* case: row-block partial sums are merged by the
+   digital adder.
+2. **Scale classification.**  A network that fits one pair is *small*;
+   one that fits a bank's FF subarrays is *medium*; otherwise it is
+   *large* and layers are distributed over consecutive banks that run
+   as a pipeline with inter-bank communication.
+3. **Replication.**  Small layers are first replicated *inside* a pair
+   (the 128-1 → 256-2 trick), then spare pairs receive whole-layer
+   copies, prioritising the layer with the largest stage time — conv
+   layers with big pixel reuse benefit most.
+4. **Bank-level parallelism.**  The finished per-bank plan is stamped
+   across all idle banks (64 independent NPUs), or across spare bank
+   groups for large networks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MappingError
+from repro.nn.topology import NetworkTopology
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.baselines.common import LayerTraffic, workload_traffic
+from repro.core.mapping import LayerMapping, MappingPlan, NetworkScale
+
+
+class PrimeCompiler:
+    """Maps network topologies onto PRIME's FF mat pairs."""
+
+    def __init__(self, config: PrimeConfig = DEFAULT_PRIME_CONFIG) -> None:
+        self.config = config
+        self.rows_cap = config.crossbar.rows
+        self.cols_cap = config.crossbar.logical_cols
+
+    # -- public entry ----------------------------------------------------
+
+    def compile(
+        self,
+        topology: NetworkTopology,
+        replicate: bool = True,
+        bank_parallel: bool = True,
+    ) -> MappingPlan:
+        """Produce a validated mapping plan for ``topology``."""
+        mappings = [
+            self._map_layer(t) for t in workload_traffic(topology)
+        ]
+        base_pairs = sum(m.pairs for m in mappings)
+        capacity = self.config.pairs_per_bank
+        total_banks = self.config.organization.total_banks
+        if base_pairs > capacity * total_banks:
+            raise MappingError(
+                f"{topology.name} needs {base_pairs} pairs > system "
+                f"capacity {capacity * total_banks}"
+            )
+        notes: list[str] = []
+        if base_pairs <= 1 and all(
+            m.row_blocks == 1 and m.col_blocks == 1 for m in mappings
+        ):
+            scale = NetworkScale.SMALL
+            banks_used = 1
+        elif base_pairs <= capacity:
+            scale = NetworkScale.MEDIUM
+            banks_used = 1
+        else:
+            scale = NetworkScale.LARGE
+            banks_used = self._assign_banks(mappings, capacity)
+            notes.append(
+                f"pipelined over {banks_used} banks with inter-bank links"
+            )
+        plan = MappingPlan(
+            workload=topology.name,
+            scale=scale,
+            layers=mappings,
+            pairs_per_bank=capacity,
+            banks_used=banks_used,
+            notes=notes,
+        )
+        # Minimum bank footprint of one network copy, before any
+        # replication grows banks_used (consumed by the scheduler).
+        plan.extras["base_banks"] = banks_used
+        if replicate:
+            self._replicate(plan)
+        if bank_parallel:
+            plan.bank_replicas = max(total_banks // plan.banks_used, 1)
+            if plan.bank_replicas > 1:
+                plan.notes.append(
+                    f"bank-level parallelism: {plan.bank_replicas} replicas"
+                )
+        plan.validate()
+        return plan
+
+    # -- tiling ------------------------------------------------------------
+
+    def _map_layer(self, traffic: LayerTraffic) -> LayerMapping:
+        if traffic.is_pool:
+            # Max pooling uses the transient difference weights and the
+            # winner-code unit; it occupies no persistent pairs.
+            return LayerMapping(
+                traffic=traffic,
+                rows=traffic.matrix_rows,
+                cols=max(traffic.matrix_cols, 1),
+                row_blocks=1,
+                col_blocks=1,
+                pairs=0,
+            )
+        rows = traffic.matrix_rows + 1  # bias row (§III-E)
+        cols = traffic.matrix_cols
+        row_blocks = -(-rows // self.rows_cap)
+        col_blocks = -(-cols // self.cols_cap)
+        mapping = LayerMapping(
+            traffic=traffic,
+            rows=rows,
+            cols=cols,
+            row_blocks=row_blocks,
+            col_blocks=col_blocks,
+            pairs=row_blocks * col_blocks,
+        )
+        if mapping.pairs == 1:
+            mapping.intra_replication = max(
+                1,
+                min(
+                    self.rows_cap // rows,
+                    self.cols_cap // cols,
+                    max(traffic.reuse, 1),
+                ),
+            )
+        return mapping
+
+    # -- large-scale bank assignment (§IV-B1) --------------------------------
+
+    def _assign_banks(
+        self, mappings: list[LayerMapping], capacity: int
+    ) -> int:
+        """Greedy in-order packing of layers onto consecutive banks.
+
+        Layers stay whole when they fit; a layer larger than a bank is
+        split by column blocks across consecutive banks (its partial
+        outputs are concatenated, not merged).
+        """
+        bank = 0
+        used = 0
+        for mapping in mappings:
+            if mapping.pairs == 0:
+                mapping.bank = bank
+                continue
+            if mapping.pairs > capacity:
+                # Spread a huge layer across enough empty banks.
+                if used > 0:
+                    bank += 1
+                    used = 0
+                spread = -(-mapping.pairs // capacity)
+                mapping.bank = bank
+                mapping.banks_spanned = spread
+                bank += spread - 1
+                used = mapping.pairs - (spread - 1) * capacity
+                continue
+            if used + mapping.pairs > capacity:
+                bank += 1
+                used = 0
+            mapping.bank = bank
+            used += mapping.pairs
+        return bank + 1
+
+    # -- replication (§IV-B1) --------------------------------------------------
+
+    #: Replicas beyond which the Buffer subarray bandwidth saturates
+    #: for fully connected layers (§IV-B1: replicas help "as long as
+    #: the Buffer subarray has enough bandwidth").
+    MAX_FC_COPIES = 4
+
+    def _copy_cap(self, mapping: LayerMapping) -> int:
+        if mapping.traffic.reuse > 1:
+            return mapping.rounds_base  # fully parallel pixels
+        return self.MAX_FC_COPIES
+
+    def _grant_copies(
+        self, layers: list[LayerMapping], spare: int
+    ) -> None:
+        """Greedy: give the slowest pipeline stage another replica."""
+        while True:
+            candidates = [
+                m
+                for m in layers
+                if m.pairs <= spare and m.copies < self._copy_cap(m)
+            ]
+            if not candidates:
+                return
+            target = max(candidates, key=lambda m: m.stage_rounds)
+            target.copies += 1
+            spare -= target.pairs
+
+    def _replicate(self, plan: MappingPlan) -> None:
+        """Fill spare pairs with copies of the busiest layers.
+
+        Small/medium networks replicate within their bank; large
+        networks draw on the spare pairs of the whole memory (replicas
+        of a hot conv layer may live in any bank — the inter-bank bus
+        carries their activations).
+        """
+        if plan.scale is NetworkScale.LARGE:
+            total = (
+                self.config.organization.total_banks * plan.pairs_per_bank
+            )
+            spare = total - plan.base_pairs
+            layers = [
+                m
+                for m in plan.layers
+                if m.pairs > 0 and m.banks_spanned == 1
+            ]
+            self._grant_copies(layers, spare)
+            plan.banks_used = max(
+                plan.banks_used,
+                -(-plan.total_pairs // plan.pairs_per_bank),
+            )
+            return
+        for bank in range(plan.banks_used):
+            layers = [
+                m
+                for m in plan.layers_on_bank(bank)
+                if m.pairs > 0 and m.banks_spanned == 1
+            ]
+            if not layers:
+                continue
+            spare = plan.pairs_per_bank - sum(m.pairs for m in layers)
+            self._grant_copies(layers, spare)
+
+    # -- ablation helpers ---------------------------------------------------
+
+    def compile_naive_serial(
+        self, topology: NetworkTopology
+    ) -> MappingPlan:
+        """The naive alternative for large NNs (§IV-B1): map every
+        medium-scale trunk to one bank serially, reprogramming the FF
+        subarrays between stages.
+
+        Returned plans carry a ``reprogram_rounds`` note consumed by
+        the executor ablation; replication and bank parallelism are
+        disabled.
+        """
+        plan = self.compile(topology, replicate=False, bank_parallel=False)
+        if plan.scale is NetworkScale.LARGE:
+            stages = plan.banks_used
+            for mapping in plan.layers:
+                mapping.bank = 0
+            plan.banks_used = 1
+            plan.notes.append(f"naive-serial: {stages} reprogram stages")
+            plan.extras = {"reprogram_stages": stages}
+        return plan

@@ -1,0 +1,461 @@
+"""The PRIME executor: analytical cost model + functional inference.
+
+Two complementary execution paths share one mapping plan:
+
+* :meth:`PrimeExecutor.estimate` — the analytical latency/energy model
+  behind Figures 8-11: counts analog rounds per layer (accounting for
+  intra-pair replication, whole-layer copies, split-merge tiling, and
+  inter-bank pipelining), charges buffer/memory traffic, and applies
+  bank-level parallelism for batched workloads.
+* :meth:`PrimeExecutor.run_functional` — bit-accurate inference through
+  real :class:`~repro.crossbar.CrossbarMVMEngine` instances with
+  dynamic-fixed-point quantisation, for accuracy studies (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.baselines.common import ExecutionReport
+from repro.core.mapping import LayerMapping, MappingPlan, NetworkScale
+from repro.crossbar.engine import CrossbarMVMEngine
+from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, MeanPool2D
+from repro.nn.network import Sequential
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.precision.dynamic_fixed_point import DynamicFixedPoint
+from repro.units import ns
+
+#: Digital merge cost per extra row block in a split-merge layer.
+T_MERGE_PER_BLOCK = 2.0 * ns
+#: Groups evaluated per analog round during 4:1 max pooling
+#: (min(256 rows / 4 candidates, 256 bitlines / 6 difference columns)).
+POOL_GROUPS_PER_ROUND = 42
+
+
+@dataclass
+class _LayerCosts:
+    """Per-sample cost components of one mapped layer."""
+
+    latency_s: float
+    compute_s: float
+    buffer_stall_s: float
+    bottleneck_s: float
+    compute_j: float
+    buffer_j: float
+    buffer_bytes: int
+
+
+class PrimeExecutor:
+    """Executes mapping plans analytically and functionally."""
+
+    def __init__(self, config: PrimeConfig = DEFAULT_PRIME_CONFIG) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # analytical model
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self,
+        plan: MappingPlan,
+        batch: int = 64,
+        use_bank_parallelism: bool = True,
+    ) -> ExecutionReport:
+        """Latency/energy report for ``batch`` samples of ``plan``."""
+        if batch < 1:
+            raise ExecutionError("batch must be >= 1")
+        xbar = self.config.crossbar
+        t_round = xbar.t_full_mvm
+        costs = [self._layer_costs(m, t_round) for m in plan.layers]
+
+        sample_latency = sum(c.latency_s for c in costs)
+        sample_compute_j = sum(c.compute_j for c in costs)
+        sample_buffer_j = sum(c.buffer_j for c in costs)
+        bottleneck = max(c.bottleneck_s for c in costs)
+        bottleneck = max(bottleneck, self._feed_time(plan))
+
+        # Inter-bank pipeline hops for large-scale networks.
+        interbank_s = 0.0
+        interbank_j = 0.0
+        if plan.scale is NetworkScale.LARGE:
+            interbank_s, interbank_j = self._interbank_costs(plan)
+            sample_latency += interbank_s
+            bottleneck = max(bottleneck, self._stage_bottleneck(plan, t_round))
+
+        # Naive-serial ablation: FF subarrays reprogrammed per stage.
+        reprogram_stages = plan.extras.get("reprogram_stages", 0)
+        reprogram_s = 0.0
+        if reprogram_stages:
+            reprogram_s = self._reprogram_time(plan) * reprogram_stages
+            sample_latency += reprogram_s
+            bottleneck = max(bottleneck, sample_latency)
+
+        replicas = plan.bank_replicas if use_bank_parallelism else 1
+        per_replica = -(-batch // replicas)
+        latency = sample_latency + (per_replica - 1) * bottleneck
+
+        org = self.config.organization
+        # Host-side memory traffic: first input fetched Mem→Buffer and
+        # last output committed back, per sample.  Overlapped with
+        # compute across samples (hidden), but its energy counts.
+        first = plan.layers[0].traffic
+        last = plan.layers[-1].traffic
+        io_bytes = (first.input_elems + last.output_elems) * batch
+        memory_j = io_bytes * (
+            org.e_array_read_per_byte + org.e_gdl_per_byte
+        ) + interbank_j * batch
+
+        buffer_stall = sum(c.buffer_stall_s for c in costs)
+        compute_time = (
+            latency - buffer_stall * per_replica - interbank_s * per_replica
+        )
+        return ExecutionReport(
+            system="PRIME",
+            workload=plan.workload,
+            batch=batch,
+            latency_s=latency,
+            compute_time_s=max(compute_time, 0.0),
+            buffer_time_s=buffer_stall * per_replica,
+            memory_time_s=interbank_s * per_replica,
+            compute_energy_j=sample_compute_j * batch,
+            buffer_energy_j=sample_buffer_j * batch,
+            memory_energy_j=memory_j,
+            extras={
+                "sample_latency_s": sample_latency,
+                "bottleneck_s": bottleneck,
+                "replicas": replicas,
+                "utilization_before": plan.utilization_before_replication,
+                "utilization_after": plan.utilization_after_replication,
+                "reprogram_s": reprogram_s,
+            },
+        )
+
+    def _layer_costs(
+        self, mapping: LayerMapping, t_round: float
+    ) -> _LayerCosts:
+        xbar = self.config.crossbar
+        org = self.config.organization
+        traffic = mapping.traffic
+        if traffic.is_pool:
+            # 4:1 max pooling runs in the output stage: the six
+            # difference dot products stream through the SA bank and
+            # the winner-code unit as results are converted (§III-E).
+            groups = traffic.output_elems
+            latency = (
+                -(-groups // xbar.sense_amps) * xbar.t_sa
+            )
+            e_group = (
+                4 * xbar.e_driver_per_row
+                + 6 * (xbar.e_sa_conversion + xbar.e_sub_sigmoid)
+            )
+            compute_j = groups * e_group
+            throughput_s = latency
+            buffer_bytes = traffic.input_elems + traffic.output_elems
+        else:
+            rounds = mapping.rounds_per_sample
+            merge = (mapping.row_blocks - 1) * T_MERGE_PER_BLOCK
+            latency = rounds * (t_round + merge)
+            throughput_s = mapping.stage_rounds * (t_round + merge)
+            row_frac = self._row_fraction(mapping)
+            col_frac = self._col_fraction(mapping)
+            compute_j = (
+                mapping.analog_ops_per_sample
+                * 2.0
+                * xbar.e_mvm_active(row_frac, col_frac)
+            )
+            reuse = max(traffic.reuse, 1)
+            buffer_bytes = reuse * traffic.matrix_rows + traffic.output_elems
+        buffer_time = (
+            self.config.t_buffer_access
+            + buffer_bytes / self.config.buffer_port_bandwidth
+        )
+        buffer_j = buffer_bytes * (
+            org.e_buffer_port_per_byte + org.e_array_read_per_byte
+        )
+        # Double buffering overlaps buffer traffic with analog rounds;
+        # only the excess shows up as a stall.
+        stall = max(buffer_time - latency, 0.0)
+        effective = latency + stall
+        bottleneck = max(throughput_s, buffer_time)
+        return _LayerCosts(
+            latency_s=effective,
+            compute_s=latency,
+            buffer_stall_s=stall,
+            bottleneck_s=bottleneck,
+            compute_j=compute_j,
+            buffer_j=buffer_j,
+            buffer_bytes=buffer_bytes,
+        )
+
+    def _row_fraction(self, mapping: LayerMapping) -> float:
+        rows_cap = self.config.crossbar.rows
+        per_tile = -(-mapping.rows // mapping.row_blocks)
+        return min(1.0, per_tile * mapping.intra_replication / rows_cap)
+
+    def _col_fraction(self, mapping: LayerMapping) -> float:
+        cols_cap = self.config.crossbar.logical_cols
+        per_tile = -(-mapping.cols // mapping.col_blocks)
+        return min(1.0, per_tile * mapping.intra_replication / cols_cap)
+
+    def _feed_time(self, plan: MappingPlan) -> float:
+        """Per-sample GDL occupancy feeding inputs and draining outputs.
+
+        Each sample's input crosses Mem subarray → global row buffer →
+        Buffer subarray (two serialised row operations per row-buffer's
+        worth of data, §III-B), and the final output takes the reverse
+        path.  This traffic hides behind computation but bounds the
+        steady-state sample rate of one bank.
+        """
+        timing = self.config.timing
+        row_bytes = self.config.organization.row_buffer_bytes
+        in_bytes = plan.layers[0].traffic.input_elems
+        out_bytes = plan.layers[-1].traffic.output_elems
+        rows = -(-in_bytes // row_bytes) + -(-out_bytes // row_bytes)
+        return rows * (timing.row_read_latency + timing.row_write_latency)
+
+    def _interbank_costs(self, plan: MappingPlan) -> tuple[float, float]:
+        """(per-sample transfer time, per-sample transfer energy)."""
+        time_s = 0.0
+        energy_j = 0.0
+        prev_bank = plan.layers[0].bank
+        for mapping in plan.layers[1:]:
+            if mapping.bank != prev_bank:
+                bytes_moved = mapping.traffic.input_elems
+                time_s += bytes_moved / self.config.interbank_bandwidth
+                energy_j += bytes_moved * self.config.e_interbank_per_byte
+            prev_bank = mapping.bank
+        return time_s, energy_j
+
+    def _stage_bottleneck(
+        self, plan: MappingPlan, t_round: float
+    ) -> float:
+        """Slowest bank stage of a large-scale pipeline."""
+        worst = 0.0
+        for bank in range(plan.banks_used):
+            stage = sum(
+                self._layer_costs(m, t_round).latency_s
+                / max(m.copies, 1)
+                for m in plan.layers_on_bank(bank)
+            )
+            worst = max(worst, stage)
+        return worst
+
+    def _reprogram_time(self, plan: MappingPlan) -> float:
+        """Time to reprogram one bank's FF subarrays (naive-serial)."""
+        device = self.config.crossbar.device
+        rows = self.config.crossbar.rows
+        return self.config.pairs_per_bank * rows * device.t_write
+
+    # ------------------------------------------------------------------
+    # functional execution
+    # ------------------------------------------------------------------
+
+    def run_functional(
+        self,
+        network: Sequential,
+        plan: MappingPlan,
+        x: np.ndarray,
+        rng: np.random.Generator | None = None,
+        with_noise: bool = False,
+        input_bits: int | None = None,
+        weight_bits: int | None = None,
+        programmed: list | None = None,
+    ) -> np.ndarray:
+        """Run ``network`` through real crossbar engines.
+
+        ``x`` is a float batch in the network's native input layout.
+        Weight layers must appear in ``network`` in the same order as
+        the plan's weight layers.  ``programmed`` (from
+        :meth:`program_network`) reuses already-programmed engines —
+        e.g. engines living inside real bank mats.  Returns the (float)
+        output logits as computed by the quantised analog pipeline.
+        """
+        xbar = self.config.crossbar
+        pin = input_bits or xbar.effective_input_bits
+        pw = weight_bits or xbar.effective_weight_bits
+        if programmed is None:
+            programmed = self.program_network(network, plan, rng=rng, pw=pw)
+        else:
+            programmed = list(programmed)
+        act = np.asarray(x, dtype=np.float64)
+        for layer in network.layers:
+            if isinstance(layer, (Dense, Conv2D)):
+                tiles, w_fmt = programmed.pop(0)
+                act = self._run_weight_layer(
+                    layer, tiles, w_fmt, act, pin, with_noise
+                )
+            else:
+                act = layer.forward(act)
+        return act
+
+    def quantize_layer_matrices(
+        self,
+        network: Sequential,
+        plan: MappingPlan,
+        pw: int | None = None,
+    ) -> list[tuple[np.ndarray, DynamicFixedPoint]]:
+        """Per weight layer: (signed integer matrix incl. bias row, format).
+
+        The bias is appended as one extra weight row driven with input
+        "1" (§III-E); the dynamic-fixed-point exponent is chosen per
+        layer over the augmented matrix.
+        """
+        pw = pw or self.config.crossbar.effective_weight_bits
+        weight_layers = [
+            l for l in network.layers if isinstance(l, (Dense, Conv2D))
+        ]
+        plan_layers = plan.weight_layers
+        if len(weight_layers) != len(plan_layers):
+            raise ExecutionError(
+                f"network has {len(weight_layers)} weight layers but the "
+                f"plan maps {len(plan_layers)}"
+            )
+        out = []
+        for layer, mapping in zip(weight_layers, plan_layers):
+            augmented = np.vstack([layer.weight, layer.bias.reshape(1, -1)])
+            w_fmt = DynamicFixedPoint.for_data(augmented, bits=pw + 1)
+            w_int = w_fmt.quantize_int(augmented)
+            rows, cols = w_int.shape
+            if rows != mapping.rows or cols != mapping.cols:
+                raise ExecutionError(
+                    f"layer {mapping.traffic.name}: weight matrix "
+                    f"{(rows, cols)} does not match plan "
+                    f"{(mapping.rows, mapping.cols)}"
+                )
+            out.append((w_int, w_fmt))
+        return out
+
+    def iter_tiles(
+        self, mapping: LayerMapping, w_int: np.ndarray
+    ):
+        """Yield ``(row_block, col_block, tile)`` for one layer matrix."""
+        xbar = self.config.crossbar
+        rows, cols = w_int.shape
+        for rb in range(mapping.row_blocks):
+            r0 = rb * xbar.rows
+            r1 = min(r0 + xbar.rows, rows)
+            for cb in range(mapping.col_blocks):
+                c0 = cb * xbar.logical_cols
+                c1 = min(c0 + xbar.logical_cols, cols)
+                yield rb, cb, w_int[r0:r1, c0:c1]
+
+    def program_network(
+        self,
+        network: Sequential,
+        plan: MappingPlan,
+        rng: np.random.Generator | None = None,
+        pw: int | None = None,
+    ) -> list[tuple[list[list[CrossbarMVMEngine]], DynamicFixedPoint]]:
+        """Program every layer into fresh standalone engines."""
+        xbar = self.config.crossbar
+        programmed = []
+        quantized = self.quantize_layer_matrices(network, plan, pw)
+        for mapping, (w_int, w_fmt) in zip(plan.weight_layers, quantized):
+            tiles: list[list[CrossbarMVMEngine]] = [
+                [None] * mapping.col_blocks for _ in range(mapping.row_blocks)
+            ]
+            for rb, cb, tile in self.iter_tiles(mapping, w_int):
+                engine = CrossbarMVMEngine(xbar, rng=rng)
+                engine.program(tile)
+                tiles[rb][cb] = engine
+            programmed.append((tiles, w_fmt))
+        return programmed
+
+    def _run_weight_layer(
+        self,
+        layer: Layer,
+        tiles: list[list[CrossbarMVMEngine]],
+        w_fmt: DynamicFixedPoint,
+        act: np.ndarray,
+        pin: int,
+        with_noise: bool,
+    ) -> np.ndarray:
+        if isinstance(layer, Conv2D):
+            vectors, spatial = self._im2col_activations(layer, act)
+        else:
+            if act.ndim != 2:
+                act = act.reshape(act.shape[0], -1)
+            vectors, spatial = act, None
+        batch_vecs = np.concatenate(
+            [vectors, np.ones((vectors.shape[0], 1))], axis=1
+        )
+        in_fmt = DynamicFixedPoint.for_data(
+            batch_vecs, bits=pin, signed=False
+        )
+        codes = in_fmt.quantize_int(np.clip(batch_vecs, 0.0, None))
+        xbar = self.config.crossbar
+        spec = tiles[0][0].spec
+        output_shift = self._calibrate_output_shift(tiles, codes, spec.po)
+        outputs = None
+        for rb, tile_row in enumerate(tiles):
+            r0 = rb * xbar.rows
+            cols_out = []
+            for engine in tile_row:
+                block = codes[:, r0 : r0 + engine.rows_used]
+                cols_out.append(
+                    engine.mvm_batch(
+                        block,
+                        with_noise=with_noise,
+                        output_shift=output_shift,
+                    )
+                )
+            row_result = np.concatenate(cols_out, axis=1)
+            outputs = row_result if outputs is None else outputs + row_result
+        scale = (
+            (2.0 ** output_shift) * in_fmt.resolution * w_fmt.resolution
+        )
+        result = outputs * scale
+        if spatial is not None:
+            b, oh, ow = spatial
+            result = result.reshape(b, oh, ow, -1)
+        return result
+
+    @staticmethod
+    def _calibrate_output_shift(
+        tiles: list[list[CrossbarMVMEngine]],
+        codes: np.ndarray,
+        po: int,
+        calibration_samples: int = 64,
+    ) -> int:
+        """Choose the layer's SA output window (right shift).
+
+        The SA reference is tuned offline so that the largest observed
+        per-engine partial result still fits in the Po-bit output
+        register — the standard calibration step of dot-product
+        engines, enabled by PRIME's reconfigurable SA.
+        """
+        sample = codes[:calibration_samples]
+        bound = 1
+        xbar_rows = tiles[0][0].params.rows
+        for rb, tile_row in enumerate(tiles):
+            r0 = rb * xbar_rows
+            for engine in tile_row:
+                block = sample[:, r0 : r0 + engine.rows_used]
+                ideal = block @ engine.programmed_weights
+                bound = max(bound, int(np.max(np.abs(ideal))))
+        return max(0, bound.bit_length() - po)
+
+    @staticmethod
+    def _im2col_activations(
+        layer: Conv2D, act: np.ndarray
+    ) -> tuple[np.ndarray, tuple[int, int, int]]:
+        if act.ndim != 4:
+            raise ExecutionError(
+                f"conv layer expects image activations, got {act.shape}"
+            )
+        if layer.pad:
+            p = layer.pad
+            act = np.pad(act, ((0, 0), (p, p), (p, p), (0, 0)))
+        b, h, w, c = act.shape
+        k = layer.kernel
+        oh, ow = h - k + 1, w - k + 1
+        patches = np.empty((b, oh, ow, k * k * c))
+        for i in range(k):
+            for j in range(k):
+                patches[:, :, :, (i * k + j) * c : (i * k + j + 1) * c] = (
+                    act[:, i : i + oh, j : j + ow, :]
+                )
+        return patches.reshape(b * oh * ow, k * k * c), (b, oh, ow)

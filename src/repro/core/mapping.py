@@ -1,0 +1,208 @@
+"""Mapping-plan data structures produced by the PRIME compiler.
+
+A plan records, for every weight layer, how its (rows+bias) × cols
+matrix is tiled over 256×128 differential mat pairs, how many replicas
+were placed (§IV-B1's replication optimisation), and which banks host
+the tiles (§IV-B1's inter-bank scheme for large NNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import MappingError
+from repro.baselines.common import LayerTraffic
+
+
+class NetworkScale(Enum):
+    """The three mapping regimes of §IV-B1."""
+
+    SMALL = "small"  # fits in a single FF mat pair → replication
+    MEDIUM = "medium"  # fits in one bank's FF subarrays → split-merge
+    LARGE = "large"  # spans banks → inter-bank pipeline
+
+
+@dataclass
+class LayerMapping:
+    """How one weight (or pool) layer lands on the FF mats.
+
+    Attributes
+    ----------
+    traffic:
+        The layer's operation/traffic profile.
+    rows, cols:
+        Crossbar matrix dimensions including the bias row.
+    row_blocks, col_blocks:
+        Tiling over the 256×128 pair geometry; a split-merge layer has
+        more than one block and its row-block partial sums are merged
+        digitally.
+    pairs:
+        Mat pairs per replica (= row_blocks × col_blocks; 0 for max
+        pooling, which uses transient difference weights).
+    intra_replication:
+        Independent copies packed inside a single pair (small layers
+        only; the 128-1 → 256-2 trick).
+    copies:
+        Whole-replica count placed on spare pairs.
+    bank:
+        Pipeline stage (bank index within the allocation) hosting the
+        layer; stays 0 for small/medium networks.
+    rounds_per_sample:
+        Sequential analog rounds needed by one sample on one replica.
+    """
+
+    traffic: LayerTraffic
+    rows: int
+    cols: int
+    row_blocks: int
+    col_blocks: int
+    pairs: int
+    intra_replication: int = 1
+    copies: int = 1
+    bank: int = 0
+    #: Consecutive banks this layer's tiles occupy (1 unless the layer
+    #: alone exceeds a bank's pair capacity, like VGG-D's first FC).
+    banks_spanned: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise MappingError("layer matrix must be non-empty")
+        if self.row_blocks < 1 or self.col_blocks < 1:
+            raise MappingError("tiling blocks must be >= 1")
+        if self.intra_replication < 1 or self.copies < 1:
+            raise MappingError("replication factors must be >= 1")
+
+    @property
+    def rounds_base(self) -> int:
+        """Analog rounds per sample with intra-pair replication only."""
+        reuse = max(self.traffic.reuse, 1)
+        return -(-reuse // self.intra_replication)
+
+    @property
+    def rounds_per_sample(self) -> int:
+        """Sequential rounds for one sample, all replication applied.
+
+        Replicas split a conv layer's pixel reuse within one sample; a
+        fully connected layer (reuse 1) always takes one round, and its
+        replicas instead serve concurrent samples (throughput).
+        """
+        reuse = max(self.traffic.reuse, 1)
+        return -(-reuse // (self.intra_replication * self.copies))
+
+    @property
+    def analog_ops_per_sample(self) -> int:
+        """Crossbar MVM firings per sample (energy driver).
+
+        Replicas redistribute firings without changing their count.
+        """
+        return self.rounds_base * max(self.pairs, 1)
+
+    @property
+    def total_pairs(self) -> int:
+        """Pairs consumed including replicas."""
+        return self.pairs * self.copies
+
+    @property
+    def stage_rounds(self) -> float:
+        """Pipeline-stage occupancy in rounds per sample (throughput)."""
+        return self.rounds_base / self.copies
+
+
+@dataclass
+class MappingPlan:
+    """The compiler's output for one workload."""
+
+    workload: str
+    scale: NetworkScale
+    layers: list[LayerMapping]
+    pairs_per_bank: int
+    banks_used: int = 1
+    #: Whole-plan replicas running in parallel across the memory
+    #: (bank-level parallelism, §IV-B2).
+    bank_replicas: int = 1
+    notes: list[str] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise MappingError("a plan needs at least one layer")
+        if self.banks_used < 1 or self.bank_replicas < 1:
+            raise MappingError("bank counts must be >= 1")
+
+    @property
+    def weight_layers(self) -> list[LayerMapping]:
+        """Layers that occupy mat pairs."""
+        return [m for m in self.layers if m.pairs > 0]
+
+    @property
+    def base_pairs(self) -> int:
+        """Pairs needed by a single replica of every layer."""
+        return sum(m.pairs for m in self.weight_layers)
+
+    @property
+    def total_pairs(self) -> int:
+        """Pairs consumed including all replication."""
+        return sum(m.total_pairs for m in self.weight_layers)
+
+    @property
+    def utilization_before_replication(self) -> float:
+        """Used-pair fraction of the allocated banks before replication."""
+        return self.base_pairs / (self.banks_used * self.pairs_per_bank)
+
+    @property
+    def utilization_after_replication(self) -> float:
+        """Used-pair fraction of the allocated banks after replication."""
+        return self.total_pairs / (self.banks_used * self.pairs_per_bank)
+
+    def layers_on_bank(self, bank: int) -> list[LayerMapping]:
+        """The pipeline-stage layers assigned to ``bank``."""
+        return [m for m in self.layers if m.bank == bank]
+
+    def validate(self) -> None:
+        """Raise :class:`MappingError` if any bank is over-subscribed.
+
+        Large-scale plans place replicas on whatever banks have spare
+        pairs, so their per-bank accounting covers the base copies and
+        the replica total is checked against the whole memory.
+        """
+        if self.scale is NetworkScale.LARGE:
+            capacity = self.banks_used * self.pairs_per_bank
+            if self.total_pairs > capacity:
+                raise MappingError(
+                    f"plan needs {self.total_pairs} pairs > "
+                    f"{capacity} across {self.banks_used} banks"
+                )
+        used: dict[int, int] = {}
+        for m in self.layers:
+            if m.pairs == 0:
+                continue
+            if m.banks_spanned == 1:
+                pairs = (
+                    m.pairs
+                    if self.scale is NetworkScale.LARGE
+                    else m.total_pairs
+                )
+                used[m.bank] = used.get(m.bank, 0) + pairs
+                continue
+            remaining = m.total_pairs
+            for b in range(m.bank, m.bank + m.banks_spanned):
+                chunk = min(remaining, self.pairs_per_bank)
+                used[b] = used.get(b, 0) + chunk
+                remaining -= chunk
+            if remaining > 0:
+                raise MappingError(
+                    f"layer {m.traffic.name} does not fit its "
+                    f"{m.banks_spanned} spanned banks"
+                )
+        for bank, pairs in used.items():
+            if bank >= self.banks_used:
+                raise MappingError(
+                    f"layer assigned to bank {bank} beyond "
+                    f"banks_used={self.banks_used}"
+                )
+            if pairs > self.pairs_per_bank:
+                raise MappingError(
+                    f"bank {bank} uses {pairs} pairs "
+                    f"> capacity {self.pairs_per_bank}"
+                )

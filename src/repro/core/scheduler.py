@@ -1,0 +1,195 @@
+"""Bank-level scheduling and data placement (§IV-B2).
+
+PRIME's 64 banks are 64 independent NPUs.  The paper's OS support
+exposes bank IDs so each input image lands in the bank that will
+process it, and multiple NNs can be resident at once (each claims the
+FF subarrays of some banks).  :class:`BankScheduler` models that
+resource manager:
+
+* ``deploy`` claims banks for a compiled plan — a medium-scale NN gets
+  as many replica banks as requested/available, a large-scale NN gets
+  its pipeline's consecutive banks (plus whole-pipeline replicas when
+  room remains);
+* ``place_samples`` spreads a batch over the deployment's banks
+  (round-robin, the paper's even-distribution policy);
+* ``throughput`` folds the executor's bottleneck model over the
+  granted banks;
+* ``release`` returns the banks to the free pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.core.mapping import MappingPlan, NetworkScale
+from repro.nn.topology import NetworkTopology
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+
+
+@dataclass
+class Deployment:
+    """One NN resident on a set of banks."""
+
+    name: str
+    plan: MappingPlan
+    #: Bank IDs granted, grouped per replica (each group hosts one
+    #: full copy of the network / pipeline).
+    replica_banks: list[list[int]] = field(default_factory=list)
+
+    @property
+    def banks(self) -> list[int]:
+        """All bank IDs granted to this deployment."""
+        return [b for group in self.replica_banks for b in group]
+
+    @property
+    def replicas(self) -> int:
+        """Independent copies able to process samples in parallel."""
+        return len(self.replica_banks)
+
+
+class BankScheduler:
+    """Allocates banks to NN deployments and places work on them."""
+
+    def __init__(self, config: PrimeConfig = DEFAULT_PRIME_CONFIG) -> None:
+        self.config = config
+        self.compiler = PrimeCompiler(config)
+        self.executor = PrimeExecutor(config)
+        self.free_banks: list[int] = list(
+            range(config.organization.total_banks)
+        )
+        self.deployments: dict[str, Deployment] = {}
+
+    # -- allocation -----------------------------------------------------
+
+    def deploy(
+        self,
+        topology: NetworkTopology,
+        max_replicas: int | None = None,
+    ) -> Deployment:
+        """Compile and place ``topology`` on free banks.
+
+        Raises :class:`MappingError` when the network's minimum bank
+        footprint exceeds the free pool or the name is already
+        resident.
+        """
+        if topology.name in self.deployments:
+            raise MappingError(
+                f"{topology.name!r} is already deployed"
+            )
+        plan = self.compiler.compile(topology)
+        footprint = plan.extras.get("base_banks", plan.banks_used)
+        if plan.scale is NetworkScale.LARGE:
+            # Large plans spread replicas over every bank when compiled
+            # stand-alone; under the scheduler they get exactly their
+            # pipeline footprint per replica, so recompile without the
+            # global-pool replication.
+            plan = self.compiler.compile(
+                topology, replicate=False, bank_parallel=False
+            )
+            footprint = plan.banks_used
+        if footprint > len(self.free_banks):
+            raise MappingError(
+                f"{topology.name} needs {footprint} banks, "
+                f"only {len(self.free_banks)} free"
+            )
+        possible = len(self.free_banks) // footprint
+        replicas = possible
+        if max_replicas is not None:
+            replicas = min(replicas, max_replicas)
+        replicas = max(replicas, 1)
+        groups = []
+        for _ in range(replicas):
+            group = [self.free_banks.pop(0) for _ in range(footprint)]
+            groups.append(group)
+        deployment = Deployment(
+            name=topology.name, plan=plan, replica_banks=groups
+        )
+        # The plan's own replica count reflects this grant.
+        plan.bank_replicas = replicas
+        self.deployments[topology.name] = deployment
+        return deployment
+
+    def release(self, name: str) -> None:
+        """Return a deployment's banks to the free pool."""
+        deployment = self.deployments.pop(name, None)
+        if deployment is None:
+            raise MappingError(f"no deployment named {name!r}")
+        self.free_banks.extend(deployment.banks)
+        self.free_banks.sort()
+
+    @property
+    def resident(self) -> list[str]:
+        """Names of deployed networks."""
+        return sorted(self.deployments)
+
+    def utilization(self) -> float:
+        """Fraction of banks claimed by deployments."""
+        total = self.config.organization.total_banks
+        return 1.0 - len(self.free_banks) / total
+
+    # -- work placement ----------------------------------------------------
+
+    def place_samples(self, name: str, n_samples: int) -> list[int]:
+        """Bank ID per sample, round-robin over the replica groups.
+
+        This is the OS page-placement decision of §IV-B2: each image
+        is stored in (and processed by) exactly one bank.
+        """
+        deployment = self._get(name)
+        first_banks = [group[0] for group in deployment.replica_banks]
+        return [
+            first_banks[i % len(first_banks)] for i in range(n_samples)
+        ]
+
+    def estimate(self, name: str, batch: int = 4096):
+        """Latency/energy report for ``batch`` samples on the grant."""
+        deployment = self._get(name)
+        return self.executor.estimate(deployment.plan, batch=batch)
+
+    def throughput(self, name: str) -> float:
+        """Steady-state samples/second of the deployment."""
+        deployment = self._get(name)
+        report = self.executor.estimate(deployment.plan, batch=4096)
+        return 4096 / report.latency_s
+
+    def _get(self, name: str) -> Deployment:
+        try:
+            return self.deployments[name]
+        except KeyError:
+            raise MappingError(f"no deployment named {name!r}") from None
+
+
+def co_schedule(
+    topologies: list[NetworkTopology],
+    config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+) -> BankScheduler:
+    """Deploy several NNs side by side, sharing the 64 banks fairly.
+
+    Banks are granted in proportion to each network's single-replica
+    footprint, every network getting at least one replica (the paper's
+    multi-application scenario: FF subarrays of different banks can
+    serve different applications).
+    """
+    scheduler = BankScheduler(config)
+    if not topologies:
+        return scheduler
+    plans = [scheduler.compiler.compile(t) for t in topologies]
+    footprints = [
+        p.extras.get("base_banks", p.banks_used) for p in plans
+    ]
+    total_banks = config.organization.total_banks
+    weight = sum(footprints)
+    if weight > total_banks:
+        raise MappingError(
+            f"co-schedule needs {weight} banks, system has {total_banks}"
+        )
+    for topology, footprint in sorted(
+        zip(topologies, footprints), key=lambda tf: -tf[1]
+    ):
+        share = max(int(total_banks * footprint / weight), footprint)
+        replicas = max(share // footprint, 1)
+        scheduler.deploy(topology, max_replicas=replicas)
+    return scheduler

@@ -1,0 +1,157 @@
+"""One physical ReRAM crossbar array.
+
+A :class:`CrossbarArray` is the morphable unit of PRIME: in *memory
+mode* its cells store single-level bits addressed by row; in
+*computation mode* they store MLC synapse levels and the array performs
+analog matrix-vector multiplication.  The class keeps the electrical
+model in :class:`repro.device.CellArray` and adds the mode discipline,
+bit packing, and current-domain arithmetic.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.device import CellArray, FaultMap
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+
+
+class ArrayMode(Enum):
+    """Operating mode of a crossbar array."""
+
+    MEMORY = "memory"
+    COMPUTE = "compute"
+
+
+class CrossbarArray:
+    """A rows×cols ReRAM crossbar with memory and compute modes."""
+
+    def __init__(
+        self,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+        rng: np.random.Generator | None = None,
+        fault_map: FaultMap | None = None,
+        track_endurance: bool = False,
+    ) -> None:
+        self.params = params
+        self.cells = CellArray(
+            params.rows,
+            params.cols,
+            device=params.device,
+            rng=rng,
+            fault_map=fault_map,
+            track_endurance=track_endurance,
+        )
+        self.mode = ArrayMode.MEMORY
+        self._stored_bits = np.zeros(
+            (params.rows, params.cols), dtype=np.uint8
+        )
+
+    # -- mode discipline ------------------------------------------------
+
+    def set_mode(self, mode: ArrayMode) -> None:
+        """Switch modes.  Contents are invalidated by the caller's
+        migration protocol (the PRIME controller), not here."""
+        self.mode = mode
+
+    def _require(self, mode: ArrayMode, op: str) -> None:
+        if self.mode is not mode:
+            raise CrossbarError(
+                f"{op} requires {mode.value} mode, array is in "
+                f"{self.mode.value} mode"
+            )
+
+    # -- memory mode ------------------------------------------------------
+
+    def write_row_bits(self, row: int, bits: np.ndarray) -> None:
+        """Store one row of single-level bits (memory mode)."""
+        self._require(ArrayMode.MEMORY, "write_row_bits")
+        bits = np.asarray(bits)
+        if bits.shape != (self.params.cols,):
+            raise CrossbarError(
+                f"row must have {self.params.cols} bits, got {bits.shape}"
+            )
+        if not np.all((bits == 0) | (bits == 1)):
+            raise CrossbarError("bits must be 0/1")
+        self._stored_bits[row] = bits.astype(np.uint8)
+        levels = bits.astype(np.int64) * (self.params.device.mlc_levels - 1)
+        self.cells.program_region(row, 0, levels.reshape(1, -1))
+
+    def read_row_bits(self, row: int) -> np.ndarray:
+        """Read one row of bits back via a threshold sense (memory mode)."""
+        self._require(ArrayMode.MEMORY, "read_row_bits")
+        if not 0 <= row < self.params.rows:
+            raise CrossbarError(f"row {row} out of range")
+        dev = self.params.device
+        g = self.cells.conductances(with_read_noise=True)[row]
+        threshold = 0.5 * (dev.g_on + dev.g_off)
+        return (g > threshold).astype(np.uint8)
+
+    # -- compute mode -------------------------------------------------------
+
+    def program_weight_levels(self, levels: np.ndarray) -> None:
+        """Program the full array with MLC synapse levels (compute mode)."""
+        self._require(ArrayMode.COMPUTE, "program_weight_levels")
+        levels = np.asarray(levels)
+        if levels.shape != (self.params.rows, self.params.cols):
+            raise CrossbarError(
+                f"levels must be {(self.params.rows, self.params.cols)}, "
+                f"got {levels.shape}"
+            )
+        self.cells.program_levels(levels.astype(np.int64))
+
+    def analog_mvm_counts(
+        self, input_levels: np.ndarray, with_noise: bool = True
+    ) -> np.ndarray:
+        """Analog MVM returning *count-domain* bitline values.
+
+        ``input_levels`` are integers in [0, 2**input_bits) — the
+        wordline driver's DAC codes.  The returned float array is the
+        bitline current divided by the unit current
+        ``v_step * g_step``, i.e. an analog estimate of
+        ``sum_i a_i * w_i`` plus a baseline term from the HRS offset
+        conductance which the differential pair cancels.
+
+        The baseline is returned *included* (as in the real analog
+        domain); use :meth:`baseline_counts` to remove it for a single
+        array, or subtract a paired array's counts.
+        """
+        self._require(ArrayMode.COMPUTE, "analog_mvm_counts")
+        input_levels = np.asarray(input_levels)
+        if input_levels.shape[-1] != self.params.rows:
+            raise CrossbarError(
+                f"expected {self.params.rows} inputs, got "
+                f"{input_levels.shape[-1]}"
+            )
+        if np.any(input_levels < 0) or np.any(
+            input_levels >= self.params.input_levels
+        ):
+            raise CrossbarError(
+                f"input levels outside [0, {self.params.input_levels})"
+            )
+        dev = self.params.device
+        v_step = dev.v_read / (self.params.input_levels - 1)
+        g_step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
+        voltages = input_levels.astype(np.float64) * v_step
+        currents = self.cells.bitline_currents(
+            voltages, with_read_noise=with_noise
+        )
+        return currents / (v_step * g_step)
+
+    def baseline_counts(self, input_levels: np.ndarray) -> np.ndarray:
+        """Count-domain baseline from the HRS offset conductance.
+
+        Equals ``g_off/g_step * sum_i a_i`` for every column; exact
+        (no noise), as produced by a reference column in real designs.
+        """
+        dev = self.params.device
+        g_step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
+        total = np.asarray(input_levels, dtype=np.float64).sum(axis=-1)
+        baseline = (dev.g_off / g_step) * total
+        return np.broadcast_to(
+            np.expand_dims(baseline, -1),
+            np.shape(input_levels)[:-1] + (self.params.cols,),
+        ).copy()

@@ -1,0 +1,258 @@
+"""The composed matrix-vector-multiply engine for one mat pair.
+
+Sequences Figure 4's blocks into a full signed digital MVM:
+
+1. the wordline driver latches the high/low 3-bit halves of each 6-bit
+   input and drives the pair in sequential phases;
+2. the differential pair produces signed count-domain bitline values
+   (positive minus negative array, HRS baseline cancelled);
+3. with synapse composing, each logical column occupies two adjacent
+   bitlines (high/low 4-bit weight halves), so one drive phase yields
+   two partial products;
+4. the reconfigurable SA digitises each active partial product at the
+   composing spec's precision, and the precision-control accumulator
+   aligns and sums them into the Po-bit-windowed result.
+
+The engine's output approximates ``(inputs @ W) >> target_shift`` —
+the same quantity :func:`repro.precision.composing.reference_dot`
+computes exactly — within the truncation/noise bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.precision.composing import ComposingSpec, split_unsigned
+from repro.crossbar.array import ArrayMode
+from repro.crossbar.drivers import WordlineDriver
+from repro.crossbar.pair import DifferentialPair
+from repro.crossbar.sense import PrecisionAccumulator, ReconfigurableSenseAmp
+
+
+class CrossbarMVMEngine:
+    """A mat pair plus periphery, programmed with one signed submatrix."""
+
+    def __init__(
+        self,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+        rng: np.random.Generator | None = None,
+        track_endurance: bool = False,
+    ) -> None:
+        if not (params.compose_inputs and params.compose_weights):
+            raise CrossbarError(
+                "the MVM engine models the composed configuration; "
+                "disable composing via ComposingSpec in the tests instead"
+            )
+        self.params = params
+        self.spec = ComposingSpec.for_rows(
+            params.rows,
+            pin=params.effective_input_bits,
+            pw=params.effective_weight_bits,
+            po=params.output_bits,
+        )
+        self.driver = WordlineDriver(params)
+        self.pair = DifferentialPair(
+            params, rng=rng, track_endurance=track_endurance
+        )
+        self.sense = ReconfigurableSenseAmp(params)
+        self.accumulator = PrecisionAccumulator(width=32)
+        self.rows_used = 0
+        self.cols_used = 0
+        self._programmed = False
+        #: Composed MVM firings since construction (one per input
+        #: vector), for cost-model cross-validation.
+        self.mvm_invocations = 0
+
+    # -- programming ------------------------------------------------------
+
+    def program(self, signed_weights: np.ndarray) -> None:
+        """Program a signed integer weight matrix into the pair.
+
+        ``signed_weights`` has shape (rows_used, cols_used) with
+        ``|w| < 2**pw``; rows_used ≤ physical rows and cols_used ≤
+        logical columns.  Unused cells are left at HRS (zero weight).
+        """
+        w = np.asarray(signed_weights)
+        if w.ndim != 2:
+            raise CrossbarError("weights must be a matrix")
+        rows, cols = w.shape
+        if rows > self.params.rows:
+            raise CrossbarError(
+                f"{rows} weight rows exceed {self.params.rows} wordlines"
+            )
+        if cols > self.params.logical_cols:
+            raise CrossbarError(
+                f"{cols} weight columns exceed "
+                f"{self.params.logical_cols} logical columns"
+            )
+        limit = 1 << self.spec.pw
+        if np.any(np.abs(w) >= limit):
+            raise CrossbarError(
+                f"weight magnitudes must be < 2**{self.spec.pw}"
+            )
+        sign = np.sign(w).astype(np.int64)
+        hi, lo = split_unsigned(np.abs(w).astype(np.int64), self.spec.pw)
+        levels = np.zeros(
+            (self.params.rows, self.params.cols), dtype=np.int64
+        )
+        levels[:rows, 0 : 2 * cols : 2] = sign * hi
+        levels[:rows, 1 : 2 * cols : 2] = sign * lo
+        self.pair.set_mode(ArrayMode.COMPUTE)
+        self.driver.set_compute_mode(True)
+        self.pair.program_signed_levels(levels)
+        self.rows_used = rows
+        self.cols_used = cols
+        #: Ideal programmed weights, kept for SA-reference calibration.
+        self.programmed_weights = w.astype(np.int64).copy()
+        self._programmed = True
+
+    # -- execution --------------------------------------------------------
+
+    def _part_weights(self) -> dict[str, int]:
+        """Power-of-two weight of each partial product in Eq. 8."""
+        return {
+            "HH": (self.spec.pin + self.spec.pw) // 2,
+            "HL": self.spec.pw // 2,
+            "LH": self.spec.pin // 2,
+            "LL": 0,
+        }
+
+    def _accumulate_parts(
+        self, part_counts: dict[str, np.ndarray], output_shift: int
+    ) -> np.ndarray:
+        """Digitise and accumulate the four partial products.
+
+        ``output_shift`` selects the layer's output window: the result
+        approximates ``(inputs @ W) >> output_shift``.  The default,
+        ``spec.target_shift``, reproduces the paper's fixed Po-bit
+        window; smaller shifts model the calibrated SA reference real
+        dot-product engines use so that typical (far-below-full-scale)
+        signals keep their significant bits.  Each part conversion
+        saturates at the SA's Po-bit ceiling.
+        """
+        limit = (1 << self.spec.po) - 1
+        shape = next(iter(part_counts.values())).shape
+        total = np.zeros(shape, dtype=np.int64)
+        for name, w_part in self._part_weights().items():
+            counts = part_counts[name]
+            shift = max(0, output_shift - w_part)
+            if shift >= self.spec.part_full_bits:
+                continue  # the part falls entirely below the window
+            sign = np.sign(counts)
+            magnitude = np.floor(np.abs(counts) / float(1 << shift))
+            digital = sign.astype(np.int64) * np.minimum(
+                magnitude, limit
+            ).astype(np.int64)
+            self.sense.conversions += counts.size
+            left = w_part - output_shift + shift
+            total += digital << left
+        return total
+
+    def mvm(
+        self,
+        inputs: np.ndarray,
+        with_noise: bool = True,
+        output_shift: int | None = None,
+    ) -> np.ndarray:
+        """Composed signed MVM of one unsigned Pin-bit input vector.
+
+        Returns ``cols_used`` signed integers approximating
+        ``(inputs @ W) >> output_shift`` (default:
+        ``spec.target_shift``, the paper's Eq. 3 window).
+        """
+        if not self._programmed:
+            raise CrossbarError("engine must be programmed before mvm")
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 1 or inputs.shape[0] != self.rows_used:
+            raise CrossbarError(
+                f"expected {self.rows_used} inputs, got {inputs.shape}"
+            )
+        if np.any(inputs < 0) or np.any(inputs >= (1 << self.spec.pin)):
+            raise CrossbarError(
+                f"inputs outside unsigned {self.spec.pin}-bit range"
+            )
+        shift = (
+            self.spec.target_shift if output_shift is None else output_shift
+        )
+        self.mvm_invocations += 1
+        in_hi, in_lo = split_unsigned(inputs.astype(np.int64), self.spec.pin)
+        counts_hi = self._drive_phase(in_hi, with_noise)
+        counts_lo = self._drive_phase(in_lo, with_noise)
+        even = slice(0, 2 * self.cols_used, 2)
+        odd = slice(1, 2 * self.cols_used, 2)
+        part_counts = {
+            "HH": counts_hi[even],
+            "LH": counts_hi[odd],
+            "HL": counts_lo[even],
+            "LL": counts_lo[odd],
+        }
+        return self._accumulate_parts(part_counts, shift)
+
+    def mvm_batch(
+        self,
+        inputs: np.ndarray,
+        with_noise: bool = True,
+        output_shift: int | None = None,
+    ) -> np.ndarray:
+        """MVM over a (batch, rows_used) input matrix.
+
+        Functionally identical to calling :meth:`mvm` per row (the
+        hardware drives the crossbar once per input vector — latency
+        and energy scale with the batch), but evaluated vectorised.
+        """
+        if not self._programmed:
+            raise CrossbarError("engine must be programmed before mvm")
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 2 or inputs.shape[1] != self.rows_used:
+            raise CrossbarError(
+                f"expected (batch, {self.rows_used}) inputs, got "
+                f"{inputs.shape}"
+            )
+        if np.any(inputs < 0) or np.any(inputs >= (1 << self.spec.pin)):
+            raise CrossbarError(
+                f"inputs outside unsigned {self.spec.pin}-bit range"
+            )
+        shift = (
+            self.spec.target_shift if output_shift is None else output_shift
+        )
+        self.mvm_invocations += inputs.shape[0]
+        in_hi, in_lo = split_unsigned(inputs.astype(np.int64), self.spec.pin)
+        padded = np.zeros((2 * inputs.shape[0], self.params.rows))
+        padded[: inputs.shape[0], : self.rows_used] = in_hi
+        padded[inputs.shape[0] :, : self.rows_used] = in_lo
+        counts = self.pair.analog_mvm_counts(padded, with_noise=with_noise)
+        counts_hi = counts[: inputs.shape[0]]
+        counts_lo = counts[inputs.shape[0] :]
+        even = slice(0, 2 * self.cols_used, 2)
+        odd = slice(1, 2 * self.cols_used, 2)
+        part_counts = {
+            "HH": counts_hi[:, even],
+            "LH": counts_hi[:, odd],
+            "HL": counts_lo[:, even],
+            "LL": counts_lo[:, odd],
+        }
+        return self._accumulate_parts(part_counts, shift)
+
+    def _drive_phase(
+        self, half_codes: np.ndarray, with_noise: bool
+    ) -> np.ndarray:
+        padded = np.zeros(self.params.rows, dtype=np.int64)
+        padded[: self.rows_used] = half_codes
+        self.driver.latch_inputs(padded)
+        return self.pair.analog_mvm_counts(
+            self.driver.latch, with_noise=with_noise
+        )
+
+    # -- cost model ---------------------------------------------------------
+
+    @property
+    def mvm_latency(self) -> float:
+        """Latency of one composed MVM (seconds)."""
+        return self.params.t_full_mvm
+
+    @property
+    def mvm_energy(self) -> float:
+        """Energy of one composed MVM (joules); ×2 for the pair."""
+        return 2.0 * self.params.e_full_mvm

@@ -1,0 +1,111 @@
+"""Activation and pooling hardware units (Fig. 4 B/C, Section III-E).
+
+* :class:`SigmoidUnit` — the analog non-linear threshold circuit in the
+  column multiplexer (Li et al., TCAD'15); bypassable when a large NN
+  spans multiple crossbars and the raw partial sums must be merged
+  digitally first.
+* :class:`ReLUUnit` — checks the sign bit of the SA result and zeroes
+  negatives (used by CNN convolution layers).
+* :class:`MaxPool4Unit` — the 4:1 max-pooling unit: the four candidates
+  are stored in registers, the crossbar evaluates the six pairwise
+  differences via the weight rows [1,-1,0,0] … [0,0,1,-1], the signs
+  land in the Winner-Code register, and the unit selects the maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CrossbarError
+
+#: The six difference-weight vectors of the 4:1 max-pooling scheme.
+MAXPOOL4_WEIGHTS = np.array(
+    [
+        [1, -1, 0, 0],
+        [1, 0, -1, 0],
+        [1, 0, 0, -1],
+        [0, 1, -1, 0],
+        [0, 1, 0, -1],
+        [0, 0, 1, -1],
+    ],
+    dtype=np.int64,
+)
+
+#: Pair (i, j) compared by each row of :data:`MAXPOOL4_WEIGHTS`.
+MAXPOOL4_PAIRS = ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3))
+
+
+class SigmoidUnit:
+    """Analog sigmoid circuit with a bypass switch."""
+
+    def __init__(self, gain: float = 1.0, bypass: bool = False) -> None:
+        if gain <= 0:
+            raise CrossbarError("sigmoid gain must be positive")
+        self.gain = gain
+        self.bypass = bypass
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Apply the sigmoid (or pass through when bypassed)."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.bypass:
+            return values
+        return 1.0 / (1.0 + np.exp(-self.gain * values))
+
+
+class ReLUUnit:
+    """Sign-bit-checked rectifier with a bypass switch."""
+
+    def __init__(self, bypass: bool = False) -> None:
+        self.bypass = bypass
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Zero every value whose sign bit is set."""
+        values = np.asarray(values)
+        if self.bypass:
+            return values
+        return np.where(values < 0, np.zeros_like(values), values)
+
+
+class MaxPool4Unit:
+    """4:1 max pooling via crossbar difference dot products.
+
+    The unit is exact for any real-valued inputs: it reproduces the
+    winner-code procedure of Section III-E rather than calling
+    ``max`` directly, so tests can check the hardware algorithm.
+    """
+
+    def winner_code(self, quad: np.ndarray) -> tuple[int, ...]:
+        """Signs of the six pairwise differences (1 if a_i >= a_j)."""
+        quad = np.asarray(quad, dtype=np.float64)
+        if quad.shape[-1] != 4:
+            raise CrossbarError("max-pool unit takes groups of 4 values")
+        diffs = quad @ MAXPOOL4_WEIGHTS.T.astype(np.float64)
+        return tuple(int(d >= 0) for d in np.atleast_1d(diffs).reshape(-1))
+
+    def select(self, quad: np.ndarray) -> float:
+        """Return the maximum of four values using the winner code."""
+        quad = np.asarray(quad, dtype=np.float64).reshape(4)
+        code = self.winner_code(quad)
+        wins = [0, 0, 0, 0]
+        for bit, (i, j) in zip(code, MAXPOOL4_PAIRS):
+            if bit:
+                wins[i] += 1
+            else:
+                wins[j] += 1
+        return float(quad[int(np.argmax(wins))])
+
+    def apply(self, groups: np.ndarray) -> np.ndarray:
+        """Max-pool an (n, 4) array of candidate groups."""
+        groups = np.asarray(groups, dtype=np.float64)
+        if groups.ndim == 1:
+            return np.asarray(self.select(groups))
+        if groups.shape[-1] != 4:
+            raise CrossbarError("max-pool groups must have 4 candidates")
+        return np.apply_along_axis(self.select, -1, groups)
+
+
+def mean_pool_weights(n: int) -> np.ndarray:
+    """Weights [1/n, ..., 1/n] for crossbar mean pooling (Section III-E)."""
+    if n < 1:
+        raise CrossbarError("mean pooling needs at least one input")
+    return np.full(n, 1.0 / n, dtype=np.float64)

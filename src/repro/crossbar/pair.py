@@ -1,0 +1,86 @@
+"""Differential crossbar pair + analog subtraction unit (Fig. 4 B).
+
+Signed weight matrices are implemented as two crossbar arrays — one
+programmed with the positive weights and one with the negative-weight
+magnitudes — sharing the same input port.  The modified column
+multiplexer subtracts the negative array's bitline current from the
+positive array's before the sigmoid unit and the SA, which also cancels
+the common HRS-baseline current exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.device import FaultMap
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.crossbar.array import ArrayMode, CrossbarArray
+
+
+class DifferentialPair:
+    """Positive/negative crossbar pair computing signed analog MVMs."""
+
+    def __init__(
+        self,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+        rng: np.random.Generator | None = None,
+        fault_maps: tuple[FaultMap, FaultMap] | None = None,
+        track_endurance: bool = False,
+    ) -> None:
+        self.params = params
+        pos_faults, neg_faults = fault_maps if fault_maps else (None, None)
+        self.positive = CrossbarArray(
+            params, rng=rng, fault_map=pos_faults,
+            track_endurance=track_endurance,
+        )
+        self.negative = CrossbarArray(
+            params, rng=rng, fault_map=neg_faults,
+            track_endurance=track_endurance,
+        )
+
+    def set_mode(self, mode: ArrayMode) -> None:
+        """Both halves morph together."""
+        self.positive.set_mode(mode)
+        self.negative.set_mode(mode)
+
+    def program_signed_levels(self, signed_levels: np.ndarray) -> None:
+        """Program a signed level matrix into the pair.
+
+        ``signed_levels`` has shape (rows, cols) with entries in
+        (-mlc_levels, mlc_levels); positives go to the positive array,
+        negative magnitudes to the negative array, and the complementary
+        cells stay at level 0 (HRS).
+        """
+        signed_levels = np.asarray(signed_levels)
+        limit = self.params.device.mlc_levels
+        if np.any(np.abs(signed_levels) >= limit):
+            raise CrossbarError(
+                f"signed levels must have magnitude < {limit}"
+            )
+        pos = np.clip(signed_levels, 0, None).astype(np.int64)
+        neg = np.clip(-signed_levels, 0, None).astype(np.int64)
+        self.positive.program_weight_levels(pos)
+        self.negative.program_weight_levels(neg)
+
+    def analog_mvm_counts(
+        self, input_levels: np.ndarray, with_noise: bool = True
+    ) -> np.ndarray:
+        """Signed count-domain MVM: positive minus negative currents.
+
+        The HRS baseline is identical in both halves and cancels in the
+        analog subtraction, so the result directly estimates
+        ``sum_i a_i * signed_level_i`` per column.
+        """
+        pos = self.positive.analog_mvm_counts(
+            input_levels, with_noise=with_noise
+        )
+        neg = self.negative.analog_mvm_counts(
+            input_levels, with_noise=with_noise
+        )
+        return pos - neg
+
+    def subtraction_energy(self, columns: int | None = None) -> float:
+        """Energy of the analog subtraction units for one conversion."""
+        cols = self.params.logical_cols if columns is None else columns
+        return cols * self.params.e_sub_sigmoid

@@ -1,0 +1,110 @@
+"""Reconfigurable sense amplifier (Fig. 4 C).
+
+The SA digitises a count-domain analog value with a precision
+configurable from 1 bit up to ``Po`` bits (a fabricated design from
+Li et al., IMW'11).  A counter steps the reference level; the result
+lands in the output register.  The precision-control circuit (register
++ adder) accumulates multiple truncated conversions so low-precision
+cells can realise a high-precision weight — the digital half of the
+composing scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+
+
+class ReconfigurableSenseAmp:
+    """A bank of Po-bit reconfigurable SAs for one mat."""
+
+    def __init__(self, params: CrossbarParams = DEFAULT_CROSSBAR) -> None:
+        self.params = params
+        self._precision = params.output_bits
+        self.conversions = 0  # lifetime conversion count (for energy)
+
+    @property
+    def precision(self) -> int:
+        """Currently configured precision in bits."""
+        return self._precision
+
+    def configure_precision(self, bits: int) -> None:
+        """Set conversion precision to any value in [1, Po]."""
+        if not 1 <= bits <= self.params.output_bits:
+            raise CrossbarError(
+                f"SA precision must be in [1, {self.params.output_bits}], "
+                f"got {bits}"
+            )
+        self._precision = bits
+
+    def convert(
+        self, counts: np.ndarray, full_scale_bits: int
+    ) -> np.ndarray:
+        """Digitise count-domain values, keeping the top ``precision`` bits.
+
+        ``full_scale_bits`` is the bit width of the analog full-scale
+        window (``part_full_bits`` of the composing spec).  Values are
+        clipped into the window; negative inputs (from the analog
+        subtraction unit) are digitised by magnitude with the sign bit
+        restored, matching a differential SA front end.
+        """
+        if full_scale_bits < 1:
+            raise CrossbarError("full_scale_bits must be >= 1")
+        counts = np.asarray(counts, dtype=np.float64)
+        sign = np.sign(counts)
+        magnitude = np.abs(counts)
+        full_scale = float(1 << full_scale_bits)
+        magnitude = np.clip(magnitude, 0.0, full_scale - 1.0)
+        shift = full_scale_bits - min(self._precision, full_scale_bits)
+        quantum = float(1 << shift)
+        digital = np.floor(magnitude / quantum).astype(np.int64)
+        self.conversions += counts.size
+        return (sign.astype(np.int64)) * digital
+
+    def conversion_latency(self, columns: int) -> float:
+        """Time to convert ``columns`` bitlines with the SA bank."""
+        batches = -(-columns // self.params.sense_amps)  # ceil division
+        return batches * self.params.t_sa
+
+    def conversion_energy(self, columns: int) -> float:
+        """Energy to convert ``columns`` bitlines once."""
+        return columns * self.params.e_sa_conversion
+
+
+class PrecisionAccumulator:
+    """The precision-control register + adder next to the SA.
+
+    Accumulates aligned partial conversions:  ``add(value, shift)``
+    adds ``value << shift`` (or ``value >> -shift``) to the register.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise CrossbarError("accumulator width must be >= 1")
+        self.width = width
+        self._register: np.ndarray | None = None
+
+    def reset(self, columns: int) -> None:
+        """Clear the register for a new output vector."""
+        self._register = np.zeros(columns, dtype=np.int64)
+
+    def add(self, values: np.ndarray, shift: int) -> None:
+        """Accumulate one aligned partial conversion."""
+        if self._register is None:
+            raise CrossbarError("accumulator used before reset")
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != self._register.shape:
+            raise CrossbarError("partial width mismatch")
+        if shift >= 0:
+            self._register += values << shift
+        else:
+            self._register += values >> (-shift)
+
+    @property
+    def value(self) -> np.ndarray:
+        """Current register contents (copy)."""
+        if self._register is None:
+            raise CrossbarError("accumulator used before reset")
+        return self._register.copy()

@@ -1,0 +1,191 @@
+"""Vectorised ReRAM cell-array state.
+
+A :class:`CellArray` models a rectangular field of metal-oxide ReRAM
+cells.  Each cell holds a discrete MLC level (0 .. 2**mlc_bits - 1)
+mapped linearly onto the [g_off, g_on] conductance range.  Programming
+applies a multiplicative log-normal-ish perturbation (clamped Gaussian)
+with the device's ``programming_sigma``; reads can add independent
+Gaussian read noise.
+
+This is the lowest layer of the functional simulator: crossbar arrays
+delegate their conductance state to a :class:`CellArray` so that device
+non-idealities (variation, noise, faults, wear) affect every analog
+matrix-vector product exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.params.reram import ReRAMDeviceParams, PT_TIO2_DEVICE
+from repro.device.faults import FaultMap
+from repro.device.endurance import EnduranceTracker
+from repro.device.irdrop import apply_ir_drop
+
+
+class CellArray:
+    """A rows×cols field of MLC ReRAM cells.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions.
+    device:
+        Device technology parameters.
+    rng:
+        Source of randomness for variation/noise; pass a seeded
+        generator for reproducible simulations, or ``None`` to disable
+        all stochastic effects (ideal device).
+    fault_map:
+        Optional stuck-at-fault overlay.
+    track_endurance:
+        When true, every programming event is counted per cell.
+    wire_resistance:
+        Per-cell-pitch wire resistance in ohms; non-zero enables the
+        first-order IR-drop degradation of
+        :mod:`repro.device.irdrop` on every read.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        device: ReRAMDeviceParams = PT_TIO2_DEVICE,
+        rng: np.random.Generator | None = None,
+        fault_map: FaultMap | None = None,
+        track_endurance: bool = False,
+        wire_resistance: float = 0.0,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise DeviceError("cell array dimensions must be positive")
+        if wire_resistance < 0:
+            raise DeviceError("wire resistance must be non-negative")
+        self.rows = rows
+        self.cols = cols
+        self.device = device
+        self.rng = rng
+        self.fault_map = fault_map
+        self.wire_resistance = wire_resistance
+        self.endurance = (
+            EnduranceTracker(rows, cols, device.endurance)
+            if track_endurance
+            else None
+        )
+        self._levels = np.zeros((rows, cols), dtype=np.int16)
+        self._conductance = np.full(
+            (rows, cols), device.g_off, dtype=np.float64
+        )
+
+    # -- programming -------------------------------------------------
+
+    def program_levels(self, levels: np.ndarray) -> None:
+        """Program every cell to the given MLC level.
+
+        ``levels`` must be an integer array of shape (rows, cols) with
+        entries in [0, mlc_levels).  Programming variation is applied
+        once, at write time, mirroring the write-and-verify tuning loop
+        of real MLC ReRAM (Alibart et al.).
+        """
+        levels = np.asarray(levels)
+        if levels.shape != (self.rows, self.cols):
+            raise DeviceError(
+                f"level array shape {levels.shape} != "
+                f"({self.rows}, {self.cols})"
+            )
+        if not np.issubdtype(levels.dtype, np.integer):
+            raise DeviceError("levels must be integers")
+        if levels.min() < 0 or levels.max() >= self.device.mlc_levels:
+            raise DeviceError(
+                f"levels outside [0, {self.device.mlc_levels})"
+            )
+        self._levels = levels.astype(np.int16)
+        ideal = self._ideal_conductance(self._levels)
+        self._conductance = self._perturb(ideal)
+        if self.fault_map is not None:
+            self._conductance = self.fault_map.apply(
+                self._conductance, self.device
+            )
+        if self.endurance is not None:
+            self.endurance.record_writes(np.ones_like(levels, dtype=bool))
+
+    def program_region(
+        self, row0: int, col0: int, levels: np.ndarray
+    ) -> None:
+        """Program a rectangular sub-region, leaving other cells alone."""
+        levels = np.asarray(levels)
+        r, c = levels.shape
+        if row0 < 0 or col0 < 0 or row0 + r > self.rows or col0 + c > self.cols:
+            raise DeviceError("programmed region exceeds array bounds")
+        if levels.min() < 0 or levels.max() >= self.device.mlc_levels:
+            raise DeviceError(
+                f"levels outside [0, {self.device.mlc_levels})"
+            )
+        self._levels[row0 : row0 + r, col0 : col0 + c] = levels
+        ideal = self._ideal_conductance(levels)
+        self._conductance[row0 : row0 + r, col0 : col0 + c] = self._perturb(
+            ideal
+        )
+        if self.fault_map is not None:
+            self._conductance = self.fault_map.apply(
+                self._conductance, self.device
+            )
+        if self.endurance is not None:
+            mask = np.zeros((self.rows, self.cols), dtype=bool)
+            mask[row0 : row0 + r, col0 : col0 + c] = True
+            self.endurance.record_writes(mask)
+
+    # -- reading -----------------------------------------------------
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Programmed MLC levels (copy)."""
+        return self._levels.copy()
+
+    def conductances(self, with_read_noise: bool = False) -> np.ndarray:
+        """Effective conductance matrix in siemens.
+
+        ``with_read_noise`` adds an independent Gaussian perturbation
+        per call, modelling sense-time thermal noise.
+        """
+        g = self._conductance
+        if self.wire_resistance > 0.0:
+            g = apply_ir_drop(g, self.wire_resistance)
+        if with_read_noise and self.rng is not None:
+            sigma = self.device.read_noise_sigma
+            if sigma > 0.0:
+                g = g * (1.0 + sigma * self.rng.standard_normal(g.shape))
+        return np.clip(g, 0.0, None)
+
+    def bitline_currents(
+        self, voltages: np.ndarray, with_read_noise: bool = False
+    ) -> np.ndarray:
+        """Analog MVM: currents summed down each bitline (Kirchhoff).
+
+        ``voltages`` has shape (rows,) or (batch, rows); the result has
+        shape (cols,) or (batch, cols) accordingly.
+        """
+        voltages = np.asarray(voltages, dtype=np.float64)
+        if voltages.shape[-1] != self.rows:
+            raise DeviceError(
+                f"voltage vector length {voltages.shape[-1]} != rows "
+                f"{self.rows}"
+            )
+        g = self.conductances(with_read_noise=with_read_noise)
+        return voltages @ g
+
+    # -- internals ---------------------------------------------------
+
+    def _ideal_conductance(self, levels: np.ndarray) -> np.ndarray:
+        dev = self.device
+        step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
+        return dev.g_off + step * levels.astype(np.float64)
+
+    def _perturb(self, ideal: np.ndarray) -> np.ndarray:
+        sigma = self.device.programming_sigma
+        if self.rng is None or sigma <= 0.0:
+            return ideal.copy()
+        noise = self.rng.standard_normal(ideal.shape)
+        # Clamp at 3 sigma: write-and-verify rejects gross outliers.
+        noise = np.clip(noise, -3.0, 3.0)
+        return np.clip(ideal * (1.0 + sigma * noise), 0.0, None)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the PRIME reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object was constructed with inconsistent values."""
+
+
+class DeviceError(ReproError):
+    """A ReRAM device operation violated the device model."""
+
+
+class CrossbarError(ReproError):
+    """A crossbar array was used outside its electrical envelope."""
+
+
+class PrecisionError(ReproError):
+    """A fixed-point or composing operation received unrepresentable data."""
+
+
+class MemoryError_(ReproError):
+    """A main-memory operation targeted an invalid address or state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class ControllerError(ReproError):
+    """The PRIME controller received an invalid or ill-sequenced command."""
+
+
+class MappingError(ReproError):
+    """The compiler could not map a network onto the available FF mats."""
+
+
+class ExecutionError(ReproError):
+    """A mapped network could not be executed (state/datapath mismatch)."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload description could not be parsed."""

@@ -1,0 +1,12 @@
+"""Evaluation harness: MlBench workloads and per-figure experiments."""
+
+from repro.eval.workloads import MLBENCH, Workload, get_workload
+from repro.eval.reporting import render_table, render_breakdown
+
+__all__ = [
+    "MLBENCH",
+    "Workload",
+    "get_workload",
+    "render_table",
+    "render_breakdown",
+]

@@ -1,0 +1,142 @@
+"""CSV export of the regenerated figures.
+
+Each writer takes a figure result object and a destination path and
+emits a flat CSV suitable for replotting — the same series the paper's
+figures show, so downstream users can diff reproduction runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.eval.experiments import (
+    Figure8Result,
+    Figure9Result,
+    Figure10Result,
+    Figure11Result,
+    Figure12Result,
+)
+from repro.eval.precision_study import PrecisionStudyResult
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def _open(path: str | Path):
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path.open("w", newline="")
+
+
+def export_figure6(result: PrecisionStudyResult, path: str | Path) -> None:
+    """``input_bits,weight_bits,accuracy`` rows plus the float row."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["input_bits", "weight_bits", "accuracy"])
+        writer.writerow(["float", "float", f"{result.float_accuracy:.4f}"])
+        for (ib, wb), acc in sorted(result.grid.items()):
+            writer.writerow([ib, wb, f"{acc:.4f}"])
+
+
+def export_figure8(result: Figure8Result, path: str | Path) -> None:
+    """One row per system: per-workload speedups + gmean."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["system", *MLBENCH_ORDER, "gmean"])
+        for system, values in result.speedups.items():
+            writer.writerow(
+                [system]
+                + [f"{values[wl]:.2f}" for wl in MLBENCH_ORDER]
+                + [f"{result.gmeans[system]:.2f}"]
+            )
+
+
+def export_figure9(result: Figure9Result, path: str | Path) -> None:
+    """``workload,system,compute_buffer,memory`` rows (vs pNPU-co)."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["workload", "system", "compute_buffer", "memory"])
+        for wl, per_system in result.breakdown.items():
+            for system, parts in per_system.items():
+                writer.writerow(
+                    [
+                        wl,
+                        system,
+                        f"{parts['compute+buffer']:.6f}",
+                        f"{parts['memory']:.6f}",
+                    ]
+                )
+
+
+def export_figure10(result: Figure10Result, path: str | Path) -> None:
+    """One row per system: per-workload energy savings + gmean."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["system", *MLBENCH_ORDER, "gmean"])
+        for system, values in result.savings.items():
+            writer.writerow(
+                [system]
+                + [f"{values[wl]:.2f}" for wl in MLBENCH_ORDER]
+                + [f"{result.gmeans[system]:.2f}"]
+            )
+
+
+def export_figure11(result: Figure11Result, path: str | Path) -> None:
+    """``workload,system,compute,buffer,memory`` rows (vs pNPU-co)."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["workload", "system", "compute", "buffer", "memory"]
+        )
+        for wl, per_system in result.breakdown.items():
+            for system, parts in per_system.items():
+                writer.writerow(
+                    [
+                        wl,
+                        system,
+                        f"{parts['compute']:.6f}",
+                        f"{parts['buffer']:.6f}",
+                        f"{parts['memory']:.6f}",
+                    ]
+                )
+
+
+def export_figure12(result: Figure12Result, path: str | Path) -> None:
+    """``quantity,value`` rows for the area model."""
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["quantity", "value"])
+        writer.writerow(["chip_overhead", f"{result.chip_overhead:.6f}"])
+        writer.writerow(
+            ["ff_mat_overhead", f"{result.ff_mat_overhead:.6f}"]
+        )
+        for name, frac in result.mat_breakdown.items():
+            writer.writerow([f"mat_share:{name}", f"{frac:.6f}"])
+
+
+def export_all(directory: str | Path, batch: int = 4096) -> list[Path]:
+    """Regenerate Figures 8-12 and write one CSV each.
+
+    (Figure 6 is excluded: it trains a network and is exported
+    separately via :func:`export_figure6`.)
+    """
+    from repro.eval.experiments import (
+        figure8,
+        figure9,
+        figure10,
+        figure11,
+        figure12,
+    )
+
+    directory = Path(directory)
+    written = []
+    for name, builder, exporter in (
+        ("figure8.csv", lambda: figure8(batch=batch), export_figure8),
+        ("figure9.csv", figure9, export_figure9),
+        ("figure10.csv", lambda: figure10(batch=batch), export_figure10),
+        ("figure11.csv", lambda: figure11(batch=batch), export_figure11),
+        ("figure12.csv", figure12, export_figure12),
+    ):
+        path = directory / name
+        exporter(builder(), path)
+        written.append(path)
+    return written

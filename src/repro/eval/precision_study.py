@@ -1,0 +1,160 @@
+"""The Figure 6 precision study.
+
+The paper evaluates handwritten-digit classification accuracy under
+dynamic-fixed-point quantisation of the inputs and synaptic weights of
+every layer, sweeping both precisions from 1 to 8 bits, and finds that
+3-bit inputs with 3-bit weights already reach ~99% accuracy — NN
+inference is robust to low precision, which justifies PRIME's 3-bit
+drivers / 4-bit cells plus the composing scheme.
+
+This module reproduces the study on the synthetic digit dataset (the
+offline MNIST substitute): a LeNet-style CNN (the CNN-1 topology) is
+trained in float, then evaluated with per-layer quantised inputs and
+weights across the precision grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.eval.workloads import get_workload
+from repro.nn.datasets import synthetic_mnist
+from repro.nn.layers import Conv2D, Dense
+from repro.nn.network import Sequential
+from repro.precision.dynamic_fixed_point import DynamicFixedPoint
+
+
+@dataclass
+class PrecisionStudyResult:
+    """Accuracy over the (input bits × weight bits) grid."""
+
+    float_accuracy: float
+    #: (input_bits, weight_bits) -> accuracy
+    grid: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def accuracy(self, input_bits: int, weight_bits: int) -> float:
+        """Accuracy at one grid point."""
+        return self.grid[(input_bits, weight_bits)]
+
+    def saturation_point(self, tolerance: float = 0.01) -> tuple[int, int]:
+        """Smallest symmetric (k, k) precision within ``tolerance`` of
+        the float accuracy."""
+        for k in range(1, 9):
+            if (k, k) in self.grid and self.grid[(k, k)] >= (
+                self.float_accuracy - tolerance
+            ):
+                return (k, k)
+        raise WorkloadError("no saturating precision found in the grid")
+
+
+def train_reference_network(
+    workload: str = "CNN-1",
+    n_train: int = 5000,
+    n_test: int = 800,
+    epochs: int = 10,
+    seed: int = 7,
+) -> tuple[Sequential, np.ndarray, np.ndarray]:
+    """Train the float reference network on the synthetic digit set."""
+    wl = get_workload(workload)
+    if not wl.functional:
+        raise WorkloadError(f"{workload} is analytical-only")
+    topology = wl.topology()
+    flat = len(wl.input_shape) == 1
+    x, y = synthetic_mnist(n_train + n_test, flat=flat, seed=seed)
+    x_train, y_train = x[:n_train], y[:n_train]
+    x_test, y_test = x[n_train:], y[n_train:]
+    net = topology.build(rng=np.random.default_rng(seed))
+    net.train_sgd(
+        x_train,
+        y_train,
+        epochs=epochs,
+        batch_size=32,
+        learning_rate=0.05 if topology.has_conv else 0.3,
+        rng=np.random.default_rng(seed + 1),
+        val_x=x_test,
+        val_labels=y_test,
+    )
+    return net, x_test, y_test
+
+
+def quantized_forward(
+    net: Sequential,
+    x: np.ndarray,
+    input_bits: int,
+    weight_bits: int,
+) -> np.ndarray:
+    """Forward pass with per-layer dynamic-fixed-point quantisation.
+
+    Before every weight layer the (non-negative) activations are
+    re-quantised to ``input_bits`` unsigned dynamic fixed point, and
+    that layer's weights and biases are quantised to ``weight_bits``
+    signed dynamic fixed point — the paper's evaluation protocol.
+    """
+    if input_bits < 1 or weight_bits < 2:
+        raise WorkloadError(
+            "input_bits must be >= 1 and weight_bits >= 2 (sign bit)"
+        )
+    act = np.asarray(x, dtype=np.float64)
+    for layer in net.layers:
+        if isinstance(layer, (Dense, Conv2D)):
+            in_fmt = DynamicFixedPoint.for_data(
+                act, bits=input_bits, signed=False
+            )
+            act = in_fmt.quantize(np.clip(act, 0.0, None))
+            w_fmt = DynamicFixedPoint.for_data(
+                layer.weight, bits=weight_bits
+            )
+            b_fmt = DynamicFixedPoint.for_data(
+                layer.bias, bits=weight_bits
+            )
+            original_w = layer.weight.copy()
+            original_b = layer.bias.copy()
+            layer.weight[...] = w_fmt.quantize(layer.weight)
+            layer.bias[...] = b_fmt.quantize(layer.bias)
+            try:
+                act = layer.forward(act)
+            finally:
+                layer.weight[...] = original_w
+                layer.bias[...] = original_b
+        else:
+            act = layer.forward(act)
+    return act
+
+
+def quantized_accuracy(
+    net: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    input_bits: int,
+    weight_bits: int,
+) -> float:
+    """Classification accuracy of the quantised forward pass."""
+    logits = quantized_forward(net, x, input_bits, weight_bits)
+    return float(np.mean(np.argmax(logits, axis=-1) == y))
+
+
+def precision_study(
+    input_bit_range: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8),
+    weight_bit_range: tuple[int, ...] = (2, 3, 4, 6, 8),
+    workload: str = "CNN-1",
+    n_train: int = 5000,
+    n_test: int = 800,
+    epochs: int = 10,
+    seed: int = 7,
+) -> PrecisionStudyResult:
+    """Regenerate the Figure 6 grid."""
+    net, x_test, y_test = train_reference_network(
+        workload, n_train=n_train, n_test=n_test, epochs=epochs, seed=seed
+    )
+    result = PrecisionStudyResult(
+        float_accuracy=net.accuracy(x_test, y_test)
+    )
+    for wb in weight_bit_range:
+        for ib in input_bit_range:
+            result.grid[(ib, wb)] = quantized_accuracy(
+                net, x_test, y_test, ib, wb
+            )
+    return result

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Monospace table with a title row and column headers."""
+    cells = [[str(c) for c in row] for row in rows]
+    headers = [str(c) for c in columns]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_breakdown(
+    title: str, breakdowns: Mapping[str, Mapping[str, float]]
+) -> str:
+    """Render normalised stacked-bar data (Fig. 9/11 style)."""
+    categories: list[str] = []
+    for parts in breakdowns.values():
+        for name in parts:
+            if name not in categories:
+                categories.append(name)
+    rows = []
+    for label, parts in breakdowns.items():
+        rows.append(
+            [label]
+            + [f"{100.0 * parts.get(c, 0.0):.1f}%" for c in categories]
+        )
+    return render_table(title, ["system"] + categories, rows)
+
+
+def format_factor(value: float) -> str:
+    """Human-friendly ×-factor formatting."""
+    if value >= 100:
+        return f"{value:,.0f}x"
+    if value >= 10:
+        return f"{value:.1f}x"
+    return f"{value:.2f}x"

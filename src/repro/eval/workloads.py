@@ -1,0 +1,77 @@
+"""MlBench: the six NN benchmarks of Table III.
+
+==========  =================================================  ==========
+Name        Topology                                           Input
+==========  =================================================  ==========
+CNN-1       conv5x5-pool-720-70-10                             28×28×1
+CNN-2       conv7x10-pool-1210-120-10                          28×28×1
+MLP-S       784-500-250-10                                     784
+MLP-M       784-1000-500-250-10                                784
+MLP-L       784-1500-1000-500-10                               784
+VGG-D       16 weight layers, 1.4e8 synapses, ~1.6e10 ops      224×224×3
+==========  =================================================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.nn.topology import NetworkTopology, parse_topology
+
+VGG_D_TOPOLOGY = (
+    "conv3x64-conv3x64-pool-conv3x128-conv3x128-pool-"
+    "conv3x256-conv3x256-conv3x256-pool-conv3x512-"
+    "conv3x512-conv3x512-pool-conv3x512-conv3x512-"
+    "conv3x512-pool-25088-4096-4096-1000"
+)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One MlBench entry."""
+
+    name: str
+    topology_text: str
+    input_shape: tuple[int, ...]
+    conv_padding: str = "valid"
+    #: MNIST-class workloads run functionally; VGG-D is analytical only.
+    functional: bool = True
+
+    def topology(self) -> NetworkTopology:
+        """Parse into a :class:`NetworkTopology`."""
+        return parse_topology(
+            self.name,
+            self.topology_text,
+            input_shape=self.input_shape,
+            conv_padding=self.conv_padding,
+        )
+
+
+MLBENCH: dict[str, Workload] = {
+    "CNN-1": Workload("CNN-1", "conv5x5-pool-720-70-10", (28, 28, 1)),
+    "CNN-2": Workload("CNN-2", "conv7x10-pool-1210-120-10", (28, 28, 1)),
+    "MLP-S": Workload("MLP-S", "784-500-250-10", (784,)),
+    "MLP-M": Workload("MLP-M", "784-1000-500-250-10", (784,)),
+    "MLP-L": Workload("MLP-L", "784-1500-1000-500-10", (784,)),
+    "VGG-D": Workload(
+        "VGG-D",
+        VGG_D_TOPOLOGY,
+        (224, 224, 3),
+        conv_padding="same",
+        functional=False,
+    ),
+}
+
+#: Evaluation order used in the paper's figures.
+MLBENCH_ORDER = ("CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L", "VGG-D")
+
+
+def get_workload(name: str) -> Workload:
+    """Look up an MlBench workload by name."""
+    try:
+        return MLBENCH[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(MLBENCH)}"
+        ) from None

@@ -1,0 +1,20 @@
+"""In-situ training on PRIME's crossbars (the paper's future work).
+
+PRIME deploys off-line-trained networks; §IV-A notes that prior work
+(Prezioso et al., Li et al., Liu et al.) trains *in* ReRAM crossbars
+and that extending PRIME with training capability is planned.  This
+package implements the standard mixed-signal scheme those works use:
+
+* the **forward pass** runs through the analog crossbar engines
+  (quantised, with device variation — the network learns around its
+  own hardware);
+* the **backward pass** is computed digitally from the analog
+  activations;
+* updates accumulate in digital *shadow weights*, and cells are
+  reprogrammed only when a weight crosses a quantisation level —
+  every reprogramming event costs write pulses, energy, and endurance.
+"""
+
+from repro.insitu.trainer import InSituTrainer, InSituTrainingResult
+
+__all__ = ["InSituTrainer", "InSituTrainingResult"]

@@ -1,0 +1,55 @@
+"""ReRAM main-memory hierarchy and the PRIME controller.
+
+Mirrors Figure 3(c)/Figure 4-left:
+
+* :mod:`repro.memory.metering` — time/energy cost accounting shared by
+  the memory system and the executors.
+* :mod:`repro.memory.mat` — one morphable 256×256 mat.
+* :mod:`repro.memory.subarray` — Mem, Buffer, and FF subarrays.
+* :mod:`repro.memory.bank` — a bank: 61 Mem + 2 FF + 1 Buffer
+  subarrays, global row buffer, global data lines.
+* :mod:`repro.memory.main_memory` — the 8-chip × 8-bank system.
+* :mod:`repro.memory.controller` — the PRIME controller and its
+  Table I command set.
+* :mod:`repro.memory.os_support` — page-miss-rate tracking and the
+  runtime FF-subarray reserve/release policy (§IV-C).
+"""
+
+from repro.memory.metering import CostMeter, CostCategory
+from repro.memory.mat import Mat, MatMode
+from repro.memory.subarray import (
+    MemSubarray,
+    BufferSubarray,
+    FFSubarray,
+    SubarrayRole,
+    FFSubarrayState,
+)
+from repro.memory.bank import Bank
+from repro.memory.main_memory import MainMemory
+from repro.memory.controller import (
+    PrimeController,
+    Command,
+    DatapathCommand,
+    DataFlowCommand,
+)
+from repro.memory.os_support import PageMissTracker, FFAllocator
+
+__all__ = [
+    "CostMeter",
+    "CostCategory",
+    "Mat",
+    "MatMode",
+    "MemSubarray",
+    "BufferSubarray",
+    "FFSubarray",
+    "SubarrayRole",
+    "FFSubarrayState",
+    "Bank",
+    "MainMemory",
+    "PrimeController",
+    "Command",
+    "DatapathCommand",
+    "DataFlowCommand",
+    "PageMissTracker",
+    "FFAllocator",
+]

@@ -1,0 +1,180 @@
+"""One ReRAM bank: Mem subarrays + 2 FF subarrays + 1 Buffer subarray.
+
+The bank is PRIME's unit of acceleration — the FF subarrays of one bank
+form one in-memory NPU, and the 64 banks of the system work as 64 NPUs
+in parallel (§IV-B2).  The bank models the two independent data paths
+of Fig. 3(c)/§III-B:
+
+* Mem subarray ↔ global row buffer ↔ off-chip, over the global data
+  lines (GDL) — used by the CPU and by ``fetch``/``commit``;
+* Buffer subarray ↔ FF subarrays over the private data port — used by
+  ``load``/``store`` and free of GDL contention, so FF computation
+  runs in parallel with CPU memory traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.memory.metering import CostCategory, CostMeter
+from repro.memory.subarray import (
+    BufferSubarray,
+    FFSubarray,
+    MemSubarray,
+)
+
+
+class Bank:
+    """A bank with PRIME's three subarray roles and cost accounting."""
+
+    def __init__(
+        self,
+        config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+        rng: np.random.Generator | None = None,
+        meter: CostMeter | None = None,
+    ) -> None:
+        self.config = config
+        org = config.organization
+        self.meter = meter if meter is not None else CostMeter()
+        n_mem = (
+            org.subarrays_per_bank
+            - org.ff_subarrays_per_bank
+            - org.buffer_subarrays_per_bank
+        )
+        if n_mem < 1:
+            raise MemoryError_("bank needs at least one Mem subarray")
+        self.mem_subarrays = [
+            MemSubarray(org.mats_per_subarray, config.crossbar)
+            for _ in range(n_mem)
+        ]
+        self.ff_subarrays = [
+            FFSubarray(org.mats_per_subarray, config.crossbar, rng=rng)
+            for _ in range(org.ff_subarrays_per_bank)
+        ]
+        self.buffer = BufferSubarray(org.mats_per_subarray, config.crossbar)
+
+    # -- geometry -------------------------------------------------------
+
+    @property
+    def mem_capacity_bytes(self) -> int:
+        """Bytes addressable in the Mem subarrays."""
+        return sum(s.capacity_bytes for s in self.mem_subarrays)
+
+    @property
+    def ff_mats(self) -> list:
+        """All mats of the bank's FF subarrays, in order."""
+        return [m for sub in self.ff_subarrays for m in sub.mats]
+
+    def _locate(self, offset: int) -> tuple[MemSubarray, int]:
+        if offset < 0 or offset >= self.mem_capacity_bytes:
+            raise MemoryError_(
+                f"offset {offset} outside bank of "
+                f"{self.mem_capacity_bytes} bytes"
+            )
+        per = self.mem_subarrays[0].capacity_bytes
+        return self.mem_subarrays[offset // per], offset % per
+
+    # -- Mem subarray access over the GDL ----------------------------------
+
+    def _row_ops(self, size: int) -> int:
+        rows = -(-size // self.config.organization.row_buffer_bytes)
+        return max(rows, 1)
+
+    def mem_read(self, offset: int, size: int) -> np.ndarray:
+        """Read bytes from the Mem subarrays (charges MEMORY)."""
+        out = np.empty(size, dtype=np.uint8)
+        done = 0
+        while done < size:
+            sub, local = self._locate(offset + done)
+            chunk = min(size - done, sub.capacity_bytes - local)
+            out[done : done + chunk] = sub.read(local, chunk)
+            done += chunk
+        org = self.config.organization
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=self._row_ops(size) * self.config.timing.row_read_latency,
+            energy_j=size
+            * (org.e_array_read_per_byte + org.e_gdl_per_byte),
+        )
+        return out
+
+    def mem_write(self, offset: int, data: np.ndarray) -> None:
+        """Write bytes to the Mem subarrays (charges MEMORY)."""
+        data = np.asarray(data, dtype=np.uint8)
+        done = 0
+        while done < data.size:
+            sub, local = self._locate(offset + done)
+            chunk = min(data.size - done, sub.capacity_bytes - local)
+            sub.write(local, data[done : done + chunk])
+            done += chunk
+        org = self.config.organization
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=self._row_ops(data.size)
+            * self.config.timing.row_write_latency,
+            energy_j=data.size
+            * (org.e_array_write_per_byte + org.e_gdl_per_byte),
+        )
+
+    # -- Table I data-flow primitives ----------------------------------------
+
+    def fetch(self, mem_offset: int, buf_offset: int, size: int) -> None:
+        """``fetch [mem adr] to [buf adr]``: Mem → row buffer → Buffer.
+
+        The two hops serialise on the GDL (§III-B), so the charge is a
+        read plus a write over the same resource.
+        """
+        data = self.mem_read(mem_offset, size)
+        org = self.config.organization
+        self.buffer.write(buf_offset, data)
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=self._row_ops(size)
+            * self.config.timing.row_write_latency,
+            energy_j=size
+            * (org.e_array_write_per_byte + org.e_gdl_per_byte),
+        )
+
+    def commit(self, buf_offset: int, mem_offset: int, size: int) -> None:
+        """``commit [buf adr] to [mem adr]``: Buffer → row buffer → Mem."""
+        org = self.config.organization
+        data = self.buffer.read(buf_offset, size)
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=self._row_ops(size)
+            * self.config.timing.row_read_latency,
+            energy_j=size
+            * (org.e_array_read_per_byte + org.e_gdl_per_byte),
+        )
+        self.mem_write(mem_offset, data)
+
+    def load(self, buf_offset: int, size: int, hidden: bool = True) -> np.ndarray:
+        """``load [buf adr] to [FF adr]``: Buffer → FF over the private port.
+
+        Buffer traffic overlaps FF computation (double buffering), so it
+        is charged as *hidden* time by default.
+        """
+        data = self.buffer.read(buf_offset, size)
+        self._charge_buffer_port(size, hidden)
+        return data
+
+    def store(
+        self, data: np.ndarray, buf_offset: int, hidden: bool = True
+    ) -> None:
+        """``store [FF adr] to [buf adr]``: FF → Buffer over the private port."""
+        data = np.asarray(data, dtype=np.uint8)
+        self.buffer.write(buf_offset, data)
+        self._charge_buffer_port(data.size, hidden)
+
+    def _charge_buffer_port(self, size: int, hidden: bool) -> None:
+        org = self.config.organization
+        self.meter.charge(
+            CostCategory.BUFFER,
+            time_s=self.config.t_buffer_access
+            + size / self.config.buffer_port_bandwidth,
+            energy_j=size
+            * (org.e_buffer_port_per_byte + org.e_array_read_per_byte),
+            hidden=hidden,
+        )

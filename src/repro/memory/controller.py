@@ -1,0 +1,311 @@
+"""The PRIME controller and its command set (Table I, Fig. 4 E).
+
+The controller decodes commands and drives the peripheral-circuit
+multiplexers of the FF subarrays.  Table I defines eight commands:
+
+==========================================  =================================
+Datapath configure (once per configuration)  Data-flow control (per execution)
+==========================================  =================================
+``prog/comp/mem [mat adr] [0/1/2]``          ``fetch [mem adr] to [buf adr]``
+``bypass sigmoid [mat adr] [0/1]``           ``commit [buf adr] to [mem adr]``
+``bypass SA [mat adr] [0/1]``                ``load [buf adr] to [FF adr]``
+``input source [mat adr] [0/1]``             ``store [FF adr] to [buf adr]``
+==========================================  =================================
+
+The controller also sequences the morphing protocol of §III-A2:
+memory→compute migrates FF data to Mem subarrays, programs synaptic
+weights, and reconfigures the periphery; compute→memory wraps up by
+reconfiguring back (and optionally restoring the migrated data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ControllerError
+from repro.memory.bank import Bank
+from repro.memory.metering import CostCategory
+from repro.memory.subarray import FFSubarrayState
+
+
+class MatFunction(Enum):
+    """Function select of one FF mat (``prog/comp/mem`` operand)."""
+
+    PROG = 0  # programming synaptic weights
+    COMP = 1  # computation
+    MEM = 2  # normal memory
+
+
+class InputSource(Enum):
+    """Input source select of one FF mat."""
+
+    BUFFER = 0  # from the Buffer subarray
+    PREVIOUS_LAYER = 1  # from the previous mat's output (bypass)
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for decoded controller commands."""
+
+    def encode(self) -> str:
+        """Render the command in Table I's textual form."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DatapathCommand(Command):
+    """One of the four left-column (configuration) commands."""
+
+    op: str  # "function" | "bypass_sigmoid" | "bypass_sa" | "input_source"
+    mat: int
+    value: int
+
+    _OPS = {
+        "function": (0, 2),
+        "bypass_sigmoid": (0, 1),
+        "bypass_sa": (0, 1),
+        "input_source": (0, 1),
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ControllerError(f"unknown datapath op {self.op!r}")
+        lo, hi = self._OPS[self.op]
+        if not lo <= self.value <= hi:
+            raise ControllerError(
+                f"{self.op} operand {self.value} outside [{lo}, {hi}]"
+            )
+        if self.mat < 0:
+            raise ControllerError("mat address must be non-negative")
+
+    def encode(self) -> str:
+        if self.op == "function":
+            return f"prog/comp/mem [{self.mat}] [{self.value}]"
+        name = {
+            "bypass_sigmoid": "bypass sigmoid",
+            "bypass_sa": "bypass SA",
+            "input_source": "input source",
+        }[self.op]
+        return f"{name} [{self.mat}] [{self.value}]"
+
+
+@dataclass(frozen=True)
+class DataFlowCommand(Command):
+    """One of the four right-column (data movement) commands."""
+
+    op: str  # "fetch" | "commit" | "load" | "store"
+    src: int
+    dst: int
+    size: int
+
+    _FORMS = {
+        "fetch": ("mem", "buf"),
+        "commit": ("buf", "mem"),
+        "load": ("buf", "FF"),
+        "store": ("FF", "buf"),
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._FORMS:
+            raise ControllerError(f"unknown data-flow op {self.op!r}")
+        if self.src < 0 or self.dst < 0 or self.size < 1:
+            raise ControllerError("addresses must be >= 0 and size >= 1")
+
+    def encode(self) -> str:
+        a, b = self._FORMS[self.op]
+        return f"{self.op} [{a} {self.src}] to [{b} {self.dst}] x{self.size}"
+
+
+def parse_command(text: str) -> Command:
+    """Parse the textual form produced by :meth:`Command.encode`."""
+    text = text.strip()
+    try:
+        if text.startswith("prog/comp/mem"):
+            mat, value = _bracket_ints(text)
+            return DatapathCommand("function", mat, value)
+        for prefix, op in (
+            ("bypass sigmoid", "bypass_sigmoid"),
+            ("bypass SA", "bypass_sa"),
+            ("input source", "input_source"),
+        ):
+            if text.startswith(prefix):
+                mat, value = _bracket_ints(text)
+                return DatapathCommand(op, mat, value)
+        for op in ("fetch", "commit", "load", "store"):
+            if text.startswith(op):
+                body, _, size = text.rpartition("x")
+                first, second = _bracket_fields(body)
+                return DataFlowCommand(
+                    op, int(first.split()[-1]), int(second.split()[-1]),
+                    int(size),
+                )
+    except (ValueError, IndexError) as exc:
+        raise ControllerError(f"malformed command {text!r}") from exc
+    raise ControllerError(f"unknown command {text!r}")
+
+
+def _bracket_fields(text: str) -> list[str]:
+    fields = []
+    rest = text
+    while "[" in rest:
+        _, _, rest = rest.partition("[")
+        inner, _, rest = rest.partition("]")
+        fields.append(inner)
+    return fields
+
+
+def _bracket_ints(text: str) -> list[int]:
+    return [int(f) for f in _bracket_fields(text)]
+
+
+@dataclass
+class MatDatapathConfig:
+    """Peripheral configuration latched for one FF mat."""
+
+    function: MatFunction = MatFunction.MEM
+    bypass_sigmoid: bool = False
+    bypass_sa: bool = False
+    input_source: InputSource = InputSource.BUFFER
+
+
+class PrimeController:
+    """Decodes commands and drives one bank's FF subarrays."""
+
+    def __init__(self, bank: Bank) -> None:
+        self.bank = bank
+        self.mat_configs: dict[int, MatDatapathConfig] = {
+            i: MatDatapathConfig() for i in range(len(bank.ff_mats))
+        }
+        self.command_log: list[str] = []
+
+    # -- command execution ---------------------------------------------------
+
+    def execute(self, command: Command) -> np.ndarray | None:
+        """Execute one decoded command; returns data for ``load``."""
+        self.command_log.append(command.encode())
+        if isinstance(command, DatapathCommand):
+            self._execute_datapath(command)
+            return None
+        if isinstance(command, DataFlowCommand):
+            return self._execute_dataflow(command)
+        raise ControllerError(f"unsupported command type {type(command)}")
+
+    def execute_text(self, text: str) -> np.ndarray | None:
+        """Parse and execute a textual command."""
+        return self.execute(parse_command(text))
+
+    def _execute_datapath(self, cmd: DatapathCommand) -> None:
+        if cmd.mat >= len(self.bank.ff_mats):
+            raise ControllerError(
+                f"mat address {cmd.mat} outside the FF subarrays"
+            )
+        cfg = self.mat_configs[cmd.mat]
+        if cmd.op == "function":
+            cfg.function = MatFunction(cmd.value)
+        elif cmd.op == "bypass_sigmoid":
+            cfg.bypass_sigmoid = bool(cmd.value)
+        elif cmd.op == "bypass_sa":
+            cfg.bypass_sa = bool(cmd.value)
+        elif cmd.op == "input_source":
+            cfg.input_source = InputSource(cmd.value)
+
+    def _execute_dataflow(self, cmd: DataFlowCommand) -> np.ndarray | None:
+        if cmd.op == "fetch":
+            self.bank.fetch(cmd.src, cmd.dst, cmd.size)
+        elif cmd.op == "commit":
+            self.bank.commit(cmd.src, cmd.dst, cmd.size)
+        elif cmd.op == "load":
+            return self.bank.load(cmd.src, cmd.size)
+        elif cmd.op == "store":
+            # ``src`` is an FF-side register id in real hardware; the
+            # functional model stages data via store_data().
+            raise ControllerError(
+                "store requires data; use store_data()"
+            )
+        return None
+
+    def store_data(self, data: np.ndarray, buf_offset: int) -> None:
+        """Functional form of ``store [FF adr] to [buf adr]``."""
+        self.command_log.append(
+            DataFlowCommand("store", 0, buf_offset, int(np.size(data))).encode()
+        )
+        self.bank.store(data, buf_offset)
+
+    # -- morphing protocol (§III-A2) -----------------------------------------
+
+    def morph_to_compute(
+        self,
+        ff_index: int,
+        weights_per_pair: dict[int, np.ndarray],
+        backup_offset: int = 0,
+    ) -> int:
+        """Switch one FF subarray to computation mode.
+
+        1. migrate the subarray's data into Mem subarrays at
+           ``backup_offset``;
+        2. program ``weights_per_pair`` (pair index → signed weight
+           tile) into the differential mat pairs — the even mat hosts
+           the engine, the odd mat is its negative-array buddy;
+        3. reconfigure the periphery.
+
+        Returns the number of bytes migrated.
+        """
+        sub = self._ff(ff_index)
+        snapshots = sub.begin_morph_to_compute()
+        migrated = 0
+        for snap in snapshots:
+            packed = np.packbits(snap.reshape(-1))
+            self.bank.mem_write(backup_offset + migrated, packed)
+            migrated += packed.size
+        device = self.bank.config.crossbar.device
+        for pair_index, weights in weights_per_pair.items():
+            host, buddy = sub.pair(pair_index)
+            host.begin_programming()
+            host.program_weights(weights)
+            buddy.attach_as_buddy(2 * pair_index)
+            cells = 2 * weights.size * 2  # pos+neg arrays, hi+lo columns
+            self.bank.meter.charge(
+                CostCategory.COMPUTE,
+                time_s=weights.shape[0] * device.t_write,
+                energy_j=cells * device.e_write,
+            )
+        self.bank.meter.charge(
+            CostCategory.COMPUTE, time_s=self.bank.config.t_reconfig
+        )
+        sub.finish_morph_to_compute()
+        return migrated
+
+    def morph_to_memory(
+        self,
+        ff_index: int,
+        backup_offset: int | None = None,
+    ) -> None:
+        """Switch one FF subarray back to memory mode (wrap-up step)."""
+        sub = self._ff(ff_index)
+        if sub.state is not FFSubarrayState.COMPUTE:
+            raise ControllerError("subarray is not in compute mode")
+        sub.morph_to_memory()
+        if backup_offset is not None:
+            rows = self.bank.config.crossbar.rows
+            cols = self.bank.config.crossbar.cols
+            per_mat = rows * cols // 8
+            offset = backup_offset
+            for mat in sub.mats:
+                packed = self.bank.mem_read(offset, per_mat)
+                bits = np.unpackbits(packed).reshape(rows, cols)
+                mat.restore_bits(bits)
+                offset += per_mat
+        self.bank.meter.charge(
+            CostCategory.COMPUTE, time_s=self.bank.config.t_reconfig
+        )
+
+    def _ff(self, index: int):
+        if not 0 <= index < len(self.bank.ff_subarrays):
+            raise ControllerError(
+                f"FF subarray {index} outside "
+                f"[0, {len(self.bank.ff_subarrays)})"
+            )
+        return self.bank.ff_subarrays[index]

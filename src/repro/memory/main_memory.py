@@ -1,0 +1,109 @@
+"""The full ReRAM main-memory system: 8 chips × 8 banks.
+
+The :class:`MainMemory` wires banks together with the shared internal
+bus used for inter-bank transfers (RowClone-style, §IV-B1) and exposes
+the off-chip interface the CPU and the pNPU-co baseline see.
+
+Functional state is instantiated lazily per bank: the experiments
+touch at most a handful of banks' contents, and 64 full banks of numpy
+arrays would waste memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.memory.bank import Bank
+from repro.memory.metering import CostCategory, CostMeter
+
+
+class MainMemory:
+    """The ReRAM main memory with PRIME-enabled banks."""
+
+    def __init__(
+        self,
+        config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+        seed: int | None = None,
+    ) -> None:
+        self.config = config
+        self.meter = CostMeter()
+        self._seed = seed
+        self._banks: dict[int, Bank] = {}
+
+    @property
+    def num_banks(self) -> int:
+        """Banks in the system (= available in-memory NPUs)."""
+        return self.config.organization.total_banks
+
+    def bank(self, index: int) -> Bank:
+        """The bank at ``index`` (lazily instantiated)."""
+        if not 0 <= index < self.num_banks:
+            raise MemoryError_(
+                f"bank {index} outside [0, {self.num_banks})"
+            )
+        if index not in self._banks:
+            rng = (
+                np.random.default_rng(self._seed + index)
+                if self._seed is not None
+                else None
+            )
+            self._banks[index] = Bank(
+                self.config, rng=rng, meter=self.meter
+            )
+        return self._banks[index]
+
+    @property
+    def instantiated_banks(self) -> list[int]:
+        """Indices of banks that have been touched."""
+        return sorted(self._banks)
+
+    # -- off-chip interface -------------------------------------------------
+
+    def offchip_read(self, bank_index: int, offset: int, size: int) -> np.ndarray:
+        """Read bytes as the CPU would: bank access + off-chip bus."""
+        data = self.bank(bank_index).mem_read(offset, size)
+        self._charge_offchip(size)
+        return data
+
+    def offchip_write(
+        self, bank_index: int, offset: int, data: np.ndarray
+    ) -> None:
+        """Write bytes as the CPU would: off-chip bus + bank access."""
+        data = np.asarray(data, dtype=np.uint8)
+        self.bank(bank_index).mem_write(offset, data)
+        self._charge_offchip(data.size)
+
+    def _charge_offchip(self, size: int) -> None:
+        timing = self.config.timing
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=size / timing.io_bus_bandwidth(),
+            energy_j=size * self.config.organization.e_offchip_per_byte,
+        )
+
+    # -- inter-bank transfers (§IV-B1, large-scale NNs) -----------------------
+
+    def interbank_copy(
+        self,
+        src_bank: int,
+        src_offset: int,
+        dst_bank: int,
+        dst_offset: int,
+        size: int,
+    ) -> None:
+        """Bulk copy between banks over the shared internal bus.
+
+        Used when a large NN is pipelined across banks; managed by the
+        PRIME controller without CPU involvement.
+        """
+        if src_bank == dst_bank:
+            raise MemoryError_("interbank_copy requires distinct banks")
+        data = self.bank(src_bank).mem_read(src_offset, size)
+        self.bank(dst_bank).mem_write(dst_offset, data)
+        self.meter.charge(
+            CostCategory.MEMORY,
+            time_s=size / self.config.interbank_bandwidth,
+            energy_j=size * self.config.e_interbank_per_byte,
+        )

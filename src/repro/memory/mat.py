@@ -1,0 +1,140 @@
+"""One morphable 256×256 mat.
+
+A mat is the granularity at which PRIME flips address ranges between
+memory and computation (§IV-C): as memory it stores single-level bits;
+as an accelerator it holds (half of) a differential pair programmed
+with multi-bit synaptic weights.  Two adjacent mats form one compute
+pair, which this class models directly: a ``Mat`` in compute mode owns
+a :class:`repro.crossbar.CrossbarMVMEngine` (the pair plus periphery)
+and represents the *pair's* compute capability; its ``buddy`` flag
+records that the neighbouring physical mat is absorbed as the negative
+array.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.crossbar.engine import CrossbarMVMEngine
+
+
+class MatMode(Enum):
+    """Current role of a mat."""
+
+    MEMORY = "memory"
+    COMPUTE = "compute"
+    PROGRAMMING = "programming"
+
+
+class Mat:
+    """A 256×256 morphable ReRAM mat."""
+
+    def __init__(
+        self,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.params = params
+        self.rng = rng
+        self.mode = MatMode.MEMORY
+        self._bits = np.zeros(
+            (params.rows, params.cols), dtype=np.uint8
+        )
+        self.engine: CrossbarMVMEngine | None = None
+        #: Identifier of the logical layer slice mapped here, if any.
+        self.assignment: tuple[str, int, int] | None = None
+
+    # -- memory mode ---------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes stored by the mat in memory (SLC) mode."""
+        return self.params.rows * self.params.cols // 8
+
+    def write_bits(self, row: int, bits: np.ndarray) -> None:
+        """Store one row of bits (memory mode)."""
+        if self.mode is not MatMode.MEMORY:
+            raise MemoryError_(
+                f"write_bits in {self.mode.value} mode"
+            )
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.params.cols,):
+            raise MemoryError_("row width mismatch")
+        self._bits[row] = bits
+
+    def read_bits(self, row: int) -> np.ndarray:
+        """Read one row of bits (memory mode)."""
+        if self.mode is not MatMode.MEMORY:
+            raise MemoryError_(
+                f"read_bits in {self.mode.value} mode"
+            )
+        if not 0 <= row < self.params.rows:
+            raise MemoryError_(f"row {row} out of range")
+        return self._bits[row].copy()
+
+    def snapshot_bits(self) -> np.ndarray:
+        """Full bit contents, for migration before morphing."""
+        return self._bits.copy()
+
+    def restore_bits(self, bits: np.ndarray) -> None:
+        """Restore migrated contents after morphing back to memory."""
+        if self.mode is not MatMode.MEMORY:
+            raise MemoryError_("restore_bits requires memory mode")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != self._bits.shape:
+            raise MemoryError_("snapshot shape mismatch")
+        self._bits = bits.copy()
+
+    # -- morphing ------------------------------------------------------
+
+    def begin_programming(self) -> None:
+        """Enter the weight-programming phase of the morph."""
+        if self.mode is MatMode.COMPUTE:
+            raise MemoryError_("mat already in compute mode")
+        self.mode = MatMode.PROGRAMMING
+        self._bits[:] = 0  # contents migrated away by the controller
+
+    def program_weights(self, signed_weights: np.ndarray) -> None:
+        """Program a signed weight tile; completes the morph to compute."""
+        if self.mode is not MatMode.PROGRAMMING:
+            raise MemoryError_(
+                "program_weights requires the programming phase "
+                "(call begin_programming first)"
+            )
+        self.engine = CrossbarMVMEngine(self.params, rng=self.rng)
+        self.engine.program(signed_weights)
+        self.mode = MatMode.COMPUTE
+
+    def attach_as_buddy(self, host_index: int) -> None:
+        """Mark this mat as the negative-array half of a pair.
+
+        The host mat's engine owns both physical arrays; the buddy is
+        accounted as occupied (compute mode) but holds no engine.
+        """
+        if self.mode is MatMode.COMPUTE:
+            raise MemoryError_("mat already in compute mode")
+        self.mode = MatMode.COMPUTE
+        self.engine = None
+        self.assignment = ("buddy", host_index, 0)
+        self._bits[:] = 0
+
+    def release_to_memory(self) -> None:
+        """Wrap-up step: reconfigure periphery back to memory mode."""
+        self.engine = None
+        self.assignment = None
+        self.mode = MatMode.MEMORY
+        self._bits[:] = 0
+
+    # -- compute mode ----------------------------------------------------
+
+    def compute_mvm(
+        self, inputs: np.ndarray, with_noise: bool = True
+    ) -> np.ndarray:
+        """Run one composed MVM on the mat pair's engine."""
+        if self.mode is not MatMode.COMPUTE or self.engine is None:
+            raise MemoryError_("compute_mvm requires compute mode")
+        return self.engine.mvm(inputs, with_noise=with_noise)

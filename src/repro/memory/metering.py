@@ -1,0 +1,103 @@
+"""Time and energy accounting.
+
+Every functional component charges its operations to a
+:class:`CostMeter`.  The meter keeps *busy time* and *energy* per
+category so experiment drivers can produce the paper's breakdowns:
+Figure 9 splits execution time into computation (incl. buffers) vs
+memory; Figure 11 splits energy into computation / buffer / memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CostCategory(Enum):
+    """Where a cost is attributed in the paper's breakdowns."""
+
+    COMPUTE = "compute"
+    BUFFER = "buffer"
+    MEMORY = "memory"
+
+
+@dataclass
+class CostMeter:
+    """Accumulates busy time (s) and energy (J) per category.
+
+    ``charge`` adds both; times in different categories may overlap in
+    real hardware, so the executor decides which charges serialise
+    (see :meth:`serial_time`) and which hide behind others.
+    """
+
+    time_s: dict[CostCategory, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CostCategory}
+    )
+    energy_j: dict[CostCategory, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CostCategory}
+    )
+    hidden_time_s: dict[CostCategory, float] = field(
+        default_factory=lambda: {c: 0.0 for c in CostCategory}
+    )
+
+    def charge(
+        self,
+        category: CostCategory,
+        time_s: float = 0.0,
+        energy_j: float = 0.0,
+        hidden: bool = False,
+    ) -> None:
+        """Add a cost.
+
+        ``hidden=True`` records the time as overlapped (it consumed
+        energy but does not extend the critical path) — e.g. Buffer
+        subarray traffic that proceeds in parallel with FF computation.
+        """
+        if time_s < 0 or energy_j < 0:
+            raise ValueError("costs must be non-negative")
+        if hidden:
+            self.hidden_time_s[category] += time_s
+        else:
+            self.time_s[category] += time_s
+        self.energy_j[category] += energy_j
+
+    def merge(self, other: "CostMeter") -> None:
+        """Fold another meter's charges into this one."""
+        for c in CostCategory:
+            self.time_s[c] += other.time_s[c]
+            self.hidden_time_s[c] += other.hidden_time_s[c]
+            self.energy_j[c] += other.energy_j[c]
+
+    def scaled(self, factor: float) -> "CostMeter":
+        """A copy with every charge multiplied by ``factor``."""
+        out = CostMeter()
+        for c in CostCategory:
+            out.time_s[c] = self.time_s[c] * factor
+            out.hidden_time_s[c] = self.hidden_time_s[c] * factor
+            out.energy_j[c] = self.energy_j[c] * factor
+        return out
+
+    @property
+    def serial_time(self) -> float:
+        """Critical-path time: the sum of non-hidden charges."""
+        return sum(self.time_s.values())
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy across categories (hidden work still burns J)."""
+        return sum(self.energy_j.values())
+
+    def time_breakdown(self) -> dict[str, float]:
+        """Non-hidden time per category name."""
+        return {c.value: self.time_s[c] for c in CostCategory}
+
+    def energy_breakdown(self) -> dict[str, float]:
+        """Energy per category name."""
+        return {c.value: self.energy_j[c] for c in CostCategory}
+
+    def reset(self) -> None:
+        """Zero every accumulator."""
+        for c in CostCategory:
+            self.time_s[c] = 0.0
+            self.hidden_time_s[c] = 0.0
+            self.energy_j[c] = 0.0

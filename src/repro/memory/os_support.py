@@ -1,0 +1,152 @@
+"""Operating-system support for runtime mode switching (§IV-C).
+
+When FF subarrays are configured for NN computation their address
+ranges are reserved and invisible to user applications.  The OS tracks
+the page-miss rate; when it exceeds a threshold (memory pressure) and
+the FF mats are under-utilised for computation, reserved mats are
+released back as normal memory — and reclaimed for computation when
+pressure subsides.  The granularity is one mat (crossbar array).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import MemoryError_
+from repro.memory.bank import Bank
+from repro.memory.mat import MatMode
+
+
+class PageMissTracker:
+    """Sliding-window page-miss-rate estimator.
+
+    Models the dynamic miss-ratio-curve tracking of Zhou et al.
+    (ASPLOS'04) with an LRU stack over a fixed page budget: an access
+    hits if the page is among the ``capacity_pages`` most recently
+    used distinct pages.
+    """
+
+    def __init__(self, capacity_pages: int, window: int = 1024) -> None:
+        if capacity_pages < 1:
+            raise MemoryError_("capacity must be at least one page")
+        if window < 1:
+            raise MemoryError_("window must be positive")
+        self.capacity_pages = capacity_pages
+        self.window = window
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._recent: list[bool] = []
+
+    def access(self, page: int) -> bool:
+        """Record an access; returns True on a miss."""
+        miss = page not in self._lru
+        if not miss:
+            self._lru.move_to_end(page)
+        else:
+            self._lru[page] = None
+            while len(self._lru) > self.capacity_pages:
+                self._lru.popitem(last=False)
+        self._recent.append(miss)
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+        return miss
+
+    def resize(self, capacity_pages: int) -> None:
+        """Grow/shrink the page budget (FF release/reclaim changes it)."""
+        if capacity_pages < 1:
+            raise MemoryError_("capacity must be at least one page")
+        self.capacity_pages = capacity_pages
+        while len(self._lru) > capacity_pages:
+            self._lru.popitem(last=False)
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over the sliding window."""
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+
+@dataclass
+class FFAllocatorPolicy:
+    """Thresholds of the release/reclaim decision."""
+
+    release_miss_rate: float = 0.05
+    reclaim_miss_rate: float = 0.01
+
+
+class FFAllocator:
+    """Decides how many FF mats serve memory vs computation.
+
+    Mirrors the MMU bookkeeping the OS keeps for the FF subarrays:
+    every FF mat is either *reserved* (available to the compiler for NN
+    mapping) or *released* (contributing pages to the memory pool).
+    Mats actively holding programmed weights are never released.
+    """
+
+    def __init__(
+        self,
+        bank: Bank,
+        tracker: PageMissTracker,
+        policy: FFAllocatorPolicy | None = None,
+        page_bytes: int = 4096,
+    ) -> None:
+        if page_bytes < 1:
+            raise MemoryError_("page size must be positive")
+        self.bank = bank
+        self.tracker = tracker
+        self.policy = policy if policy is not None else FFAllocatorPolicy()
+        self.page_bytes = page_bytes
+        #: Mat indices reserved for computation (all of them initially).
+        self.reserved: set[int] = set(range(len(bank.ff_mats)))
+
+    @property
+    def released_mats(self) -> int:
+        """FF mats currently serving as normal memory."""
+        return len(self.bank.ff_mats) - len(self.reserved)
+
+    def compute_utilization(self) -> float:
+        """Fraction of FF mats holding programmed weights."""
+        mats = self.bank.ff_mats
+        active = sum(1 for m in mats if m.mode is MatMode.COMPUTE)
+        return active / len(mats)
+
+    @property
+    def pages_per_mat(self) -> int:
+        """Memory pages provided by releasing one mat (>= 1)."""
+        mat = self.bank.ff_mats[0]
+        return max(mat.capacity_bytes // self.page_bytes, 1)
+
+    def step(self) -> int:
+        """Run one policy decision.
+
+        Returns the number of mats released (positive) or reclaimed
+        (negative); adjusts the tracker's page budget accordingly.
+        """
+        miss = self.tracker.miss_rate
+        pol = self.policy
+        changed = 0
+        if miss > pol.release_miss_rate:
+            idle = [
+                i
+                for i in sorted(self.reserved)
+                if self.bank.ff_mats[i].mode is not MatMode.COMPUTE
+            ]
+            for i in idle:
+                self.reserved.discard(i)
+                changed += 1
+        elif miss < pol.reclaim_miss_rate and self.released_mats > 0:
+            reclaimable = [
+                i
+                for i in range(len(self.bank.ff_mats))
+                if i not in self.reserved
+            ]
+            for i in reclaimable:
+                self.reserved.add(i)
+                changed -= 1
+        if changed:
+            new_capacity = (
+                self.tracker.capacity_pages + changed * self.pages_per_mat
+            )
+            self.tracker.resize(max(new_capacity, 1))
+        return changed

@@ -1,0 +1,187 @@
+"""Mem, Buffer, and FF subarrays.
+
+A subarray is a row of mats sharing local drivers/SAs.  PRIME assigns
+three roles (Fig. 3c):
+
+* **Mem** subarrays store data only.
+* **FF** subarrays morph between memory mode and computation mode and
+  execute mapped NN layers when in computation mode.
+* The **Buffer** subarray is the Mem subarray adjacent to the FF
+  subarrays, connected to them through a private data port, caching FF
+  inputs/outputs so FF computation proceeds in parallel with CPU memory
+  traffic on the global data lines.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.memory.mat import Mat, MatMode
+
+
+class SubarrayRole(Enum):
+    """Role assigned to a subarray inside a bank."""
+
+    MEM = "mem"
+    BUFFER = "buffer"
+    FF = "ff"
+
+
+class FFSubarrayState(Enum):
+    """Mode of an FF subarray as a whole."""
+
+    MEMORY = "memory"
+    MORPHING = "morphing"
+    COMPUTE = "compute"
+
+
+class MemSubarray:
+    """A plain data-storage subarray: ``mats`` × 8 KB of bits."""
+
+    def __init__(
+        self,
+        mats: int,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+    ) -> None:
+        if mats < 1:
+            raise MemoryError_("a subarray needs at least one mat")
+        self.params = params
+        self.role = SubarrayRole.MEM
+        self._data = np.zeros(
+            mats * params.rows * params.cols // 8, dtype=np.uint8
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Addressable bytes in the subarray."""
+        return int(self._data.size)
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per open row (one mat row across the subarray)."""
+        return self.params.cols // 8
+
+    def write(self, offset: int, data: np.ndarray) -> None:
+        """Store bytes at a subarray-relative offset."""
+        data = np.asarray(data, dtype=np.uint8)
+        self._check_range(offset, data.size)
+        self._data[offset : offset + data.size] = data
+
+    def read(self, offset: int, size: int) -> np.ndarray:
+        """Load bytes from a subarray-relative offset."""
+        self._check_range(offset, size)
+        return self._data[offset : offset + size].copy()
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self._data.size:
+            raise MemoryError_(
+                f"access [{offset}, {offset + size}) outside subarray of "
+                f"{self._data.size} bytes"
+            )
+
+
+class BufferSubarray(MemSubarray):
+    """The Mem subarray doubling as the FF data buffer.
+
+    The buffer-connection unit (Fig. 4 D) gives the FF subarrays random
+    access to any location here without touching the global data lines,
+    plus a bypass register when one mat's output feeds another mat
+    directly.
+    """
+
+    def __init__(
+        self,
+        mats: int,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+    ) -> None:
+        super().__init__(mats, params)
+        self.role = SubarrayRole.BUFFER
+        #: Intermediate register used when the buffer is bypassed.
+        self.bypass_register: np.ndarray | None = None
+
+    def stage_bypass(self, data: np.ndarray) -> None:
+        """Latch data into the bypass register (mat→mat forwarding)."""
+        self.bypass_register = np.asarray(data, dtype=np.uint8).copy()
+
+    def take_bypass(self) -> np.ndarray:
+        """Consume the bypass register contents."""
+        if self.bypass_register is None:
+            raise MemoryError_("bypass register is empty")
+        data, self.bypass_register = self.bypass_register, None
+        return data
+
+
+class FFSubarray:
+    """A full-function subarray: a row of morphable mats."""
+
+    def __init__(
+        self,
+        mats: int,
+        params: CrossbarParams = DEFAULT_CROSSBAR,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if mats < 1:
+            raise MemoryError_("an FF subarray needs at least one mat")
+        self.params = params
+        self.role = SubarrayRole.FF
+        self.state = FFSubarrayState.MEMORY
+        self.mats = [Mat(params, rng=rng) for _ in range(mats)]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes provided when every mat is in memory mode."""
+        return sum(m.capacity_bytes for m in self.mats)
+
+    @property
+    def pair_count(self) -> int:
+        """Differential mat pairs the subarray can host."""
+        return len(self.mats) // 2
+
+    def pair(self, index: int) -> tuple[Mat, Mat]:
+        """(host, buddy) mats of pair ``index``."""
+        if not 0 <= index < self.pair_count:
+            raise MemoryError_(
+                f"pair {index} outside [0, {self.pair_count})"
+            )
+        return self.mats[2 * index], self.mats[2 * index + 1]
+
+    @property
+    def compute_mats(self) -> list[Mat]:
+        """Mats currently holding programmed weights."""
+        return [m for m in self.mats if m.mode is MatMode.COMPUTE]
+
+    @property
+    def free_mats(self) -> list[Mat]:
+        """Mats currently available as memory."""
+        return [m for m in self.mats if m.mode is MatMode.MEMORY]
+
+    def utilization(self) -> float:
+        """Fraction of mats in compute mode."""
+        return len(self.compute_mats) / len(self.mats)
+
+    def begin_morph_to_compute(self) -> list[np.ndarray]:
+        """Start the memory→compute morph; returns migrated snapshots.
+
+        The PRIME controller stores the snapshots into Mem subarrays
+        before weight programming begins.
+        """
+        if self.state is FFSubarrayState.COMPUTE:
+            raise MemoryError_("subarray already in compute mode")
+        self.state = FFSubarrayState.MORPHING
+        return [m.snapshot_bits() for m in self.mats]
+
+    def finish_morph_to_compute(self) -> None:
+        """Peripheral reconfiguration done; computation may start."""
+        if self.state is not FFSubarrayState.MORPHING:
+            raise MemoryError_("finish_morph requires a morph in progress")
+        self.state = FFSubarrayState.COMPUTE
+
+    def morph_to_memory(self) -> None:
+        """Wrap-up: every mat reverts to memory mode."""
+        for mat in self.mats:
+            mat.release_to_memory()
+        self.state = FFSubarrayState.MEMORY

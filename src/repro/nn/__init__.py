@@ -1,0 +1,59 @@
+"""Pure-numpy neural-network substrate.
+
+The paper's NNs are trained off-line and deployed onto PRIME for
+inference.  This package provides the off-line side: layer
+implementations with forward/backward passes, SGD training, the
+Table III topology grammar, and the synthetic datasets used in place
+of MNIST/ImageNet (no network access in this environment).
+"""
+
+from repro.nn.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    MeanPool2D,
+    Flatten,
+    Sigmoid,
+    ReLU,
+    Softmax,
+)
+from repro.nn.losses import CrossEntropyLoss, MeanSquaredErrorLoss
+from repro.nn.network import Sequential, TrainingResult
+from repro.nn.topology import (
+    LayerSpec,
+    ConvSpec,
+    PoolSpec,
+    DenseSpec,
+    NetworkTopology,
+    parse_topology,
+)
+from repro.nn.datasets import synthetic_mnist, synthetic_images
+from repro.nn.snn import LIFLayer, SpikingNetwork, SnnRunResult
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "MeanPool2D",
+    "Flatten",
+    "Sigmoid",
+    "ReLU",
+    "Softmax",
+    "CrossEntropyLoss",
+    "MeanSquaredErrorLoss",
+    "Sequential",
+    "TrainingResult",
+    "LayerSpec",
+    "ConvSpec",
+    "PoolSpec",
+    "DenseSpec",
+    "NetworkTopology",
+    "parse_topology",
+    "synthetic_mnist",
+    "synthetic_images",
+    "LIFLayer",
+    "SpikingNetwork",
+    "SnnRunResult",
+]

@@ -1,0 +1,100 @@
+"""Synthetic datasets (offline substitutes for MNIST / ImageNet).
+
+The environment has no network access, so the MNIST digits the paper
+evaluates on are replaced by a procedurally generated 28×28 digit
+dataset: each sample renders a 5×7 digit glyph, upscales it, and
+applies random translation, scaling, per-pixel noise, and intensity
+jitter.  The task exercises the identical quantised-inference code
+path as MNIST (Fig. 6) — a digit classifier whose accuracy saturates
+once input/weight precision reaches a few dynamic-fixed-point bits.
+
+``synthetic_images`` generates unlabeled image tensors of arbitrary
+shape for throughput experiments (the VGG-D stand-in for ImageNet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+#: 5×7 bitmap font for the ten digits (rows of 5 bits, top to bottom).
+_DIGIT_GLYPHS: dict[int, tuple[str, ...]] = {
+    0: ("01110", "10001", "10011", "10101", "11001", "10001", "01110"),
+    1: ("00100", "01100", "00100", "00100", "00100", "00100", "01110"),
+    2: ("01110", "10001", "00001", "00010", "00100", "01000", "11111"),
+    3: ("11111", "00010", "00100", "00010", "00001", "10001", "01110"),
+    4: ("00010", "00110", "01010", "10010", "11111", "00010", "00010"),
+    5: ("11111", "10000", "11110", "00001", "00001", "10001", "01110"),
+    6: ("00110", "01000", "10000", "11110", "10001", "10001", "01110"),
+    7: ("11111", "00001", "00010", "00100", "01000", "01000", "01000"),
+    8: ("01110", "10001", "10001", "01110", "10001", "10001", "01110"),
+    9: ("01110", "10001", "10001", "01111", "00001", "00010", "01100"),
+}
+
+
+def _glyph_array(digit: int) -> np.ndarray:
+    rows = _DIGIT_GLYPHS[digit]
+    return np.array(
+        [[float(ch) for ch in row] for row in rows], dtype=np.float64
+    )
+
+
+def _render_digit(
+    digit: int, size: int, rng: np.random.Generator, noise: float
+) -> np.ndarray:
+    """Render one jittered digit image in [0, 1]."""
+    glyph = _glyph_array(digit)
+    # Upscale by a random integer factor, keeping room for translation.
+    max_scale = max((size - 6) // 7, 1)
+    scale = int(rng.integers(max(max_scale - 1, 1), max_scale + 1))
+    img_small = np.kron(glyph, np.ones((scale, scale)))
+    h, w = img_small.shape
+    canvas = np.zeros((size, size), dtype=np.float64)
+    dy = int(rng.integers(0, size - h + 1))
+    dx = int(rng.integers(0, size - w + 1))
+    canvas[dy : dy + h, dx : dx + w] = img_small
+    intensity = rng.uniform(0.6, 1.0)
+    canvas *= intensity
+    if noise > 0:
+        canvas += noise * rng.standard_normal(canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def synthetic_mnist(
+    n_samples: int,
+    size: int = 28,
+    noise: float = 0.08,
+    seed: int = 0,
+    flat: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a labelled synthetic digit dataset.
+
+    Returns ``(images, labels)`` with images of shape
+    ``(n, size, size, 1)`` (or ``(n, size*size)`` when ``flat``) in
+    [0, 1] and integer labels in [0, 10).
+    """
+    if n_samples < 1:
+        raise WorkloadError("n_samples must be positive")
+    if size < 14:
+        raise WorkloadError("size must be at least 14 pixels")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 10, n_samples)
+    images = np.stack(
+        [_render_digit(int(d), size, rng, noise) for d in labels]
+    )
+    if flat:
+        return images.reshape(n_samples, -1), labels
+    return images[..., np.newaxis], labels
+
+
+def synthetic_images(
+    n_samples: int,
+    shape: tuple[int, ...] = (224, 224, 3),
+    seed: int = 0,
+) -> np.ndarray:
+    """Unlabeled random image tensors in [0, 1] (ImageNet stand-in)."""
+    if n_samples < 1:
+        raise WorkloadError("n_samples must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.random((n_samples, *shape))

@@ -1,0 +1,50 @@
+"""Loss functions for off-line training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class CrossEntropyLoss:
+    """Fused softmax + cross-entropy over integer class labels."""
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of ``logits`` (B, C) vs ``labels`` (B,)."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+            raise WorkloadError("logits must be (B, C) and labels (B,)")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1))
+        nll = log_z - shifted[np.arange(labels.size), labels]
+        return float(nll.mean())
+
+    def backward(self, logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """dL/dlogits of the mean cross-entropy."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        probs = e / e.sum(axis=1, keepdims=True)
+        probs[np.arange(labels.size), labels] -= 1.0
+        return probs / labels.size
+
+
+class MeanSquaredErrorLoss:
+    """Plain MSE against one-hot or real-valued targets."""
+
+    def forward(self, outputs: np.ndarray, targets: np.ndarray) -> float:
+        """Mean of squared differences."""
+        outputs = np.asarray(outputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if outputs.shape != targets.shape:
+            raise WorkloadError("outputs/targets shape mismatch")
+        return float(np.mean((outputs - targets) ** 2))
+
+    def backward(self, outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """dL/doutputs."""
+        outputs = np.asarray(outputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        return 2.0 * (outputs - targets) / outputs.size

@@ -1,0 +1,134 @@
+"""Sequential network container with SGD training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.layers import Layer
+from repro.nn.losses import CrossEntropyLoss
+
+
+@dataclass
+class TrainingResult:
+    """Per-epoch history of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Validation accuracy after the last epoch."""
+        if not self.accuracies:
+            raise WorkloadError("no epochs recorded")
+        return self.accuracies[-1]
+
+
+class Sequential:
+    """A feed-forward stack of layers."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise WorkloadError("a network needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the full stack."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through the full stack."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the final layer)."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a dataset."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+    # -- training --------------------------------------------------------
+
+    def train_sgd(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        rng: np.random.Generator | None = None,
+        val_x: np.ndarray | None = None,
+        val_labels: np.ndarray | None = None,
+    ) -> TrainingResult:
+        """Minibatch SGD with momentum and cross-entropy loss."""
+        if epochs < 1 or batch_size < 1:
+            raise WorkloadError("epochs and batch_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        loss_fn = CrossEntropyLoss()
+        velocities = [
+            [np.zeros_like(p) for p in layer.params()]
+            for layer in self.layers
+        ]
+        result = TrainingResult()
+        n = x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], labels[idx]
+                logits = self.forward(xb, training=True)
+                epoch_loss += loss_fn.forward(logits, yb)
+                batches += 1
+                self.backward(loss_fn.backward(logits, yb))
+                for layer, vels in zip(self.layers, velocities):
+                    for p, g, v in zip(layer.params(), layer.grads(), vels):
+                        v *= momentum
+                        v -= learning_rate * g
+                        p += v
+            result.losses.append(epoch_loss / max(batches, 1))
+            if val_x is not None and val_labels is not None:
+                result.accuracies.append(self.accuracy(val_x, val_labels))
+            else:
+                result.accuracies.append(self.accuracy(x, labels))
+        return result
+
+    # -- weight (de)serialisation ----------------------------------------
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of every parameter array, in layer order."""
+        return [p.copy() for layer in self.layers for p in layer.params()]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        flat = [p for layer in self.layers for p in layer.params()]
+        if len(flat) != len(weights):
+            raise WorkloadError(
+                f"expected {len(flat)} arrays, got {len(weights)}"
+            )
+        for p, w in zip(flat, weights):
+            if p.shape != w.shape:
+                raise WorkloadError(
+                    f"shape mismatch: {p.shape} vs {w.shape}"
+                )
+            p[...] = w
+
+    def save_npz(self, path: str) -> None:
+        """Persist weights to an .npz file."""
+        arrays = {f"w{i}": w for i, w in enumerate(self.get_weights())}
+        np.savez(path, **arrays)
+
+    def load_npz(self, path: str) -> None:
+        """Load weights saved by :meth:`save_npz`."""
+        with np.load(path) as data:
+            weights = [data[f"w{i}"] for i in range(len(data.files))]
+        self.set_weights(weights)

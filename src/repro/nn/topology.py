@@ -1,0 +1,297 @@
+"""The Table III topology grammar.
+
+MlBench topologies are written as dash-separated tokens:
+
+* ``convKxM`` — a K×K valid convolution producing M feature maps
+  (CNN-1's ``conv5x5`` yields 5 maps of 24×24 from a 28×28 input;
+  the 12×12×5 = 720 features after pooling match the table);
+* ``pool`` — a 2×2 max pool;
+* an integer — a fully connected layer of that many output units
+  (the first integer after an image front end states the flattened
+  size and is checked, not instantiated).
+
+Pure-MLP strings like ``784-500-250-10`` start with the input size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+)
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for parsed layer specifications."""
+
+
+@dataclass(frozen=True)
+class ConvSpec(LayerSpec):
+    """``convKxM``: K×K kernel, M output feature maps.
+
+    ``padding`` is ``"valid"`` (LeNet-style, as CNN-1/CNN-2's flatten
+    sizes imply) or ``"same"`` (VGG-style, as VGG-D's 25088 = 512·7·7
+    implies).
+    """
+
+    kernel: int
+    maps: int
+    padding: str = "valid"
+
+    def pad_pixels(self) -> int:
+        """Zero-padding applied on each border."""
+        if self.padding == "valid":
+            return 0
+        if self.padding == "same":
+            return (self.kernel - 1) // 2
+        raise WorkloadError(f"unknown padding {self.padding!r}")
+
+
+@dataclass(frozen=True)
+class PoolSpec(LayerSpec):
+    """``pool``: 2×2 max pooling."""
+
+    size: int = 2
+
+
+@dataclass(frozen=True)
+class DenseSpec(LayerSpec):
+    """A fully connected layer with ``units`` outputs."""
+
+    units: int
+
+
+@dataclass(frozen=True)
+class ShapeInfo:
+    """Shape and cost of one layer within a topology."""
+
+    spec: LayerSpec
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    synapses: int
+    macs: int
+
+
+class NetworkTopology:
+    """A parsed topology bound to an input shape."""
+
+    def __init__(
+        self,
+        name: str,
+        specs: list[LayerSpec],
+        input_shape: tuple[int, ...],
+    ) -> None:
+        if not specs:
+            raise WorkloadError("topology needs at least one layer")
+        self.name = name
+        self.specs = list(specs)
+        self.input_shape = tuple(input_shape)
+        self.layers = self._infer_shapes()
+
+    def _infer_shapes(self) -> list[ShapeInfo]:
+        shape = self.input_shape
+        infos: list[ShapeInfo] = []
+        for spec in self.specs:
+            if isinstance(spec, ConvSpec):
+                if len(shape) != 3:
+                    raise WorkloadError(
+                        f"{self.name}: conv needs an image input, "
+                        f"got shape {shape}"
+                    )
+                h, w, c = shape
+                pad = spec.pad_pixels()
+                if h + 2 * pad < spec.kernel or w + 2 * pad < spec.kernel:
+                    raise WorkloadError(
+                        f"{self.name}: kernel {spec.kernel} exceeds input "
+                        f"{shape}"
+                    )
+                out = (
+                    h + 2 * pad - spec.kernel + 1,
+                    w + 2 * pad - spec.kernel + 1,
+                    spec.maps,
+                )
+                synapses = spec.kernel * spec.kernel * c * spec.maps
+                macs = synapses * out[0] * out[1]
+                infos.append(ShapeInfo(spec, shape, out, synapses, macs))
+                shape = out
+            elif isinstance(spec, PoolSpec):
+                if len(shape) != 3:
+                    raise WorkloadError(
+                        f"{self.name}: pool needs an image input"
+                    )
+                h, w, c = shape
+                if h % spec.size or w % spec.size:
+                    raise WorkloadError(
+                        f"{self.name}: pool {spec.size} does not divide "
+                        f"{shape}"
+                    )
+                out = (h // spec.size, w // spec.size, c)
+                # Comparison count, not MACs, but it contributes work.
+                macs = h * w * c
+                infos.append(ShapeInfo(spec, shape, out, 0, macs))
+                shape = out
+            elif isinstance(spec, DenseSpec):
+                flat = int(np.prod(shape))
+                out = (spec.units,)
+                synapses = flat * spec.units
+                infos.append(ShapeInfo(spec, (flat,), out, synapses, synapses))
+                shape = out
+            else:
+                raise WorkloadError(f"unknown spec {spec!r}")
+        return infos
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Shape of the final layer output."""
+        return self.layers[-1].output_shape
+
+    @property
+    def total_synapses(self) -> int:
+        """Synaptic weights across all layers (biases excluded)."""
+        return sum(info.synapses for info in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Multiply-accumulates for one input sample."""
+        return sum(info.macs for info in self.layers)
+
+    @property
+    def has_conv(self) -> bool:
+        """True when the topology contains convolution layers."""
+        return any(isinstance(s, ConvSpec) for s in self.specs)
+
+    def build(
+        self,
+        rng: np.random.Generator | None = None,
+        hidden_activation: str | None = None,
+    ) -> Sequential:
+        """Instantiate a trainable :class:`Sequential` network.
+
+        Convolution layers get ReLU (as in the paper's CNN pipeline);
+        fully connected hidden layers default to sigmoid (the analog
+        unit PRIME provides for MLPs); the final layer is linear
+        (the loss applies softmax).
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        act = hidden_activation or ("relu" if self.has_conv else "sigmoid")
+        layers: list[Layer] = []
+        shape = self.input_shape
+        flattened = len(shape) == 1
+        dense_specs = [s for s in self.specs if isinstance(s, DenseSpec)]
+        for spec in self.specs:
+            if isinstance(spec, ConvSpec):
+                layers.append(
+                    Conv2D(
+                        shape[2],
+                        spec.maps,
+                        spec.kernel,
+                        rng=rng,
+                        pad=spec.pad_pixels(),
+                    )
+                )
+                shape = layers[-1].output_shape(shape)
+                layers.append(ReLU())
+            elif isinstance(spec, PoolSpec):
+                layers.append(MaxPool2D(spec.size))
+                shape = layers[-1].output_shape(shape)
+            elif isinstance(spec, DenseSpec):
+                if not flattened:
+                    layers.append(Flatten())
+                    shape = layers[-1].output_shape(shape)
+                    flattened = True
+                layers.append(
+                    Dense(
+                        shape[0],
+                        spec.units,
+                        rng=rng,
+                        init="he" if act == "relu" else "xavier",
+                    )
+                )
+                shape = (spec.units,)
+                if spec is not dense_specs[-1]:
+                    layers.append(ReLU() if act == "relu" else Sigmoid())
+        return Sequential(layers)
+
+
+def parse_topology(
+    name: str,
+    text: str,
+    input_shape: tuple[int, ...] | None = None,
+    conv_padding: str = "valid",
+) -> NetworkTopology:
+    """Parse a Table III topology string.
+
+    For pure-MLP strings the input shape comes from the first token;
+    for convolutional strings ``input_shape`` must be supplied (e.g.
+    ``(28, 28, 1)`` for MNIST).  A leading integer token equal to the
+    flattened front-end output (as in VGG-D's ``25088``) is validated
+    and skipped.  ``conv_padding`` selects valid (LeNet-style) or same
+    (VGG-style) convolutions.
+    """
+    tokens = [t for t in text.strip().split("-") if t]
+    if not tokens:
+        raise WorkloadError(f"{name}: empty topology string")
+    specs: list[LayerSpec] = []
+    for token in tokens:
+        if token.startswith("conv"):
+            body = token[len("conv") :]
+            try:
+                kernel, maps = body.split("x")
+                specs.append(
+                    ConvSpec(int(kernel), int(maps), padding=conv_padding)
+                )
+            except ValueError as exc:
+                raise WorkloadError(
+                    f"{name}: bad conv token {token!r}"
+                ) from exc
+        elif token == "pool":
+            specs.append(PoolSpec())
+        else:
+            try:
+                specs.append(DenseSpec(int(token)))
+            except ValueError as exc:
+                raise WorkloadError(
+                    f"{name}: bad token {token!r}"
+                ) from exc
+    has_conv = any(isinstance(s, ConvSpec) for s in specs)
+    if not has_conv:
+        if input_shape is None:
+            first = specs.pop(0)
+            if not isinstance(first, DenseSpec):
+                raise WorkloadError(f"{name}: MLP must start with a size")
+            input_shape = (first.units,)
+        elif (
+            specs
+            and isinstance(specs[0], DenseSpec)
+            and specs[0].units == int(np.prod(input_shape))
+        ):
+            # Leading token restates the input size — drop the marker.
+            specs.pop(0)
+        return NetworkTopology(name, specs, input_shape)
+    if input_shape is None:
+        raise WorkloadError(
+            f"{name}: convolutional topology needs an input_shape"
+        )
+    # Validate-and-drop a flattened-size marker after the image front
+    # end (e.g. "...pool-720-70-10": 720 is the flatten size).
+    front: list[LayerSpec] = []
+    rest = list(specs)
+    while rest and isinstance(rest[0], (ConvSpec, PoolSpec)):
+        front.append(rest.pop(0))
+    probe = NetworkTopology(name, front, input_shape)
+    flat = int(np.prod(probe.output_shape))
+    if rest and isinstance(rest[0], DenseSpec) and rest[0].units == flat:
+        rest.pop(0)
+    return NetworkTopology(name, front + rest, input_shape)

@@ -1,0 +1,51 @@
+"""Technology, timing, energy, and area parameters.
+
+This package is the single home of every numeric constant the simulator
+uses, organised to mirror the paper's experiment-setup section:
+
+* :mod:`repro.params.reram` — the Pt/TiO2-x/Pt device of Gao et al.
+  adopted by the paper (Ron/Roff = 1 kΩ / 20 kΩ, 2 V SET/RESET).
+* :mod:`repro.params.crossbar` — the 256×256 FF-mat compute parameters
+  (3-bit input voltages, 4-bit MLC cells, 6-bit reconfigurable SAs).
+* :mod:`repro.params.memory` — Table IV's ReRAM main-memory organisation
+  and timing (16 GB, 8 chips × 8 banks, 533 MHz IO bus,
+  tRCD-tCL-tRP-tWR = 22.5-9.8-0.5-41.4 ns).
+* :mod:`repro.params.cpu` — Table IV's 4-core 3 GHz out-of-order CPU.
+* :mod:`repro.params.npu` — Table V's DianNao-style parallel NPU
+  (16×16 multipliers, 256-1 adder tree, 2 KB in/out + 32 KB weight
+  buffers) in co-processor and 3D-stacked PIM variants.
+* :mod:`repro.params.area` — the Figure 12 area-overhead model.
+"""
+
+from repro.params.reram import ReRAMDeviceParams, PT_TIO2_DEVICE
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.params.memory import (
+    MemoryTiming,
+    MemoryOrganization,
+    DEFAULT_TIMING,
+    DEFAULT_ORGANIZATION,
+)
+from repro.params.cpu import CpuParams, DEFAULT_CPU
+from repro.params.npu import NpuParams, PNPU_CO, PNPU_PIM
+from repro.params.area import AreaModel, DEFAULT_AREA_MODEL
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+
+__all__ = [
+    "ReRAMDeviceParams",
+    "PT_TIO2_DEVICE",
+    "CrossbarParams",
+    "DEFAULT_CROSSBAR",
+    "MemoryTiming",
+    "MemoryOrganization",
+    "DEFAULT_TIMING",
+    "DEFAULT_ORGANIZATION",
+    "CpuParams",
+    "DEFAULT_CPU",
+    "NpuParams",
+    "PNPU_CO",
+    "PNPU_PIM",
+    "AreaModel",
+    "DEFAULT_AREA_MODEL",
+    "PrimeConfig",
+    "DEFAULT_PRIME_CONFIG",
+]

@@ -1,0 +1,75 @@
+"""Area-overhead model (Figure 12 and Section V-D).
+
+PRIME adds circuitry to the FF mats only.  Relative to an unmodified
+memory mat, an FF mat grows by 60%: the multi-level wordline drivers
+contribute 23 points, the subtraction + sigmoid circuitry 29 points,
+and the control/multiplexer/miscellaneous logic 8 points.  With two FF
+subarrays and one Buffer subarray per bank the paper reports a chip-
+level overhead of 5.76%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.params.memory import MemoryOrganization, DEFAULT_ORGANIZATION
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-mat and chip-level area overheads of PRIME.
+
+    The three per-mat overhead fractions are expressed relative to the
+    area of one unmodified memory mat (0.23 means "+23% of a mat").
+    ``fixed_bank_overhead`` covers the additions that are not per-mat:
+    the FF↔Buffer connection unit (decoders + multiplexers + private
+    data port wiring spanning three subarrays), the PRIME controller,
+    and the widened mode multiplexing on the global datapath.  Its
+    default is calibrated so the chip-level total reproduces the
+    paper's NVSim-derived 5.76%.
+    """
+
+    driver_overhead: float = 0.23
+    subtract_sigmoid_overhead: float = 0.29
+    control_mux_overhead: float = 0.08
+    fixed_bank_overhead: float = 0.0389
+    organization: MemoryOrganization = DEFAULT_ORGANIZATION
+
+    def __post_init__(self) -> None:
+        for name in (
+            "driver_overhead",
+            "subtract_sigmoid_overhead",
+            "control_mux_overhead",
+            "fixed_bank_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @property
+    def ff_mat_overhead(self) -> float:
+        """Total area increase of one FF mat vs a memory mat (~0.60)."""
+        return (
+            self.driver_overhead
+            + self.subtract_sigmoid_overhead
+            + self.control_mux_overhead
+        )
+
+    def mat_breakdown(self) -> dict[str, float]:
+        """Fig. 12 pie: share of the *added* FF-mat area per component."""
+        total = self.ff_mat_overhead
+        return {
+            "driver": self.driver_overhead / total,
+            "subtraction+sigmoid": self.subtract_sigmoid_overhead / total,
+            "control/mux/etc": self.control_mux_overhead / total,
+        }
+
+    def chip_overhead(self) -> float:
+        """Chip-level area overhead of enabling PRIME (~5.76%)."""
+        org = self.organization
+        mats_per_bank = org.subarrays_per_bank * org.mats_per_subarray
+        ff_fraction = org.ff_mats_per_bank / mats_per_bank
+        return ff_fraction * self.ff_mat_overhead + self.fixed_bank_overhead
+
+
+DEFAULT_AREA_MODEL = AreaModel()

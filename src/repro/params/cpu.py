@@ -1,0 +1,64 @@
+"""Baseline CPU parameters (Table IV).
+
+4 cores, 3 GHz, out-of-order; private 32 KB 4-way L1 (2-cycle access);
+private 2 MB 8-way L2 (10-cycle access); ReRAM main memory behind a
+533 MHz IO bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GHz, KB, MB, pJ
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Analytical model parameters for the CPU-only baseline.
+
+    The performance model is roofline-style: a layer is limited either
+    by MAC throughput (``cores * macs_per_cycle * clock``) or by
+    memory traffic over the off-chip bus.  ``compute_efficiency``
+    captures the fraction of peak that general-purpose NN inference
+    code (gathers, sigmoid evaluation, short inner loops) sustains —
+    calibrated to the DianNao-era observation that special-purpose
+    datapaths beat CPUs by two orders of magnitude.  ``power_w`` is
+    the active package power attributed to the run; energy is
+    ``power_w × busy time`` plus cache/DRAM traffic energy.
+    """
+
+    cores: int = 4
+    clock_hz: float = 3.0 * GHz
+    l1_bytes: int = 32 * KB
+    l1_assoc: int = 4
+    l1_access_cycles: int = 2
+    l2_bytes: int = 2 * MB
+    l2_assoc: int = 8
+    l2_access_cycles: int = 10
+    macs_per_cycle_per_core: int = 8
+    compute_efficiency: float = 0.08
+    power_w: float = 4.0
+    e_l1_per_byte: float = 0.5 * pJ
+    e_l2_per_byte: float = 2.0 * pJ
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock must be positive")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ConfigurationError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Peak multiply-accumulate throughput."""
+        return self.cores * self.macs_per_cycle_per_core * self.clock_hz
+
+    @property
+    def sustained_macs_per_s(self) -> float:
+        """Sustained MAC throughput after the efficiency derating."""
+        return self.peak_macs_per_s * self.compute_efficiency
+
+
+DEFAULT_CPU = CpuParams()

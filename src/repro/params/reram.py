@@ -1,0 +1,115 @@
+"""ReRAM device technology parameters.
+
+The paper adopts Pt/TiO2-x/Pt devices (Gao et al., NVMW'13) with
+Ron/Roff = 1 kΩ / 20 kΩ and 2 V SET/RESET voltage, 4-bit MLC cells for
+computation and SLC cells for storage, and the performance-optimised
+ReRAM main-memory design of Xu et al. (HPCA'15) whose read latency is
+comparable to DRAM while writes are ~5× slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import kohm, ns, pJ, V
+
+
+@dataclass(frozen=True)
+class ReRAMDeviceParams:
+    """Electrical and timing parameters of a single ReRAM cell.
+
+    Attributes
+    ----------
+    r_on:
+        Low-resistance-state (LRS) resistance in ohms; logic '1'.
+    r_off:
+        High-resistance-state (HRS) resistance in ohms; logic '0'.
+    v_set, v_reset:
+        Programming voltage magnitudes in volts.  RESET uses a negative
+        voltage of this magnitude.
+    v_read:
+        Read voltage used in memory mode, in volts.
+    mlc_bits:
+        Bits stored per cell when used as a synapse (4 in the paper's
+        practical assumption; up to 7 has been demonstrated).
+    t_read, t_write:
+        Cell-level read/program pulse durations in seconds.
+    e_read, e_write:
+        Energy per cell read/program event in joules.
+    programming_sigma:
+        Relative standard deviation of the programmed conductance
+        (≈1% for single cells, ≈3% inside crossbars per Alibart et al.).
+    read_noise_sigma:
+        Relative standard deviation of the read current.
+    endurance:
+        Number of SET/RESET cycles before the cell degrades (~1e12).
+    """
+
+    r_on: float = 1.0 * kohm
+    r_off: float = 20.0 * kohm
+    v_set: float = 2.0 * V
+    v_reset: float = 2.0 * V
+    v_read: float = 0.4 * V
+    mlc_bits: int = 4
+    t_read: float = 10.0 * ns
+    t_write: float = 50.0 * ns
+    e_read: float = 1.0 * pJ
+    e_write: float = 4.0 * pJ
+    programming_sigma: float = 0.03
+    read_noise_sigma: float = 0.005
+    endurance: float = 1e12
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ConfigurationError("resistances must be positive")
+        if self.r_off <= self.r_on:
+            raise ConfigurationError("r_off must exceed r_on (HRS > LRS)")
+        if self.mlc_bits < 1 or self.mlc_bits > 8:
+            raise ConfigurationError("mlc_bits must be in [1, 8]")
+        if not 0.0 <= self.programming_sigma < 1.0:
+            raise ConfigurationError("programming_sigma must be in [0, 1)")
+        if not 0.0 <= self.read_noise_sigma < 1.0:
+            raise ConfigurationError("read_noise_sigma must be in [0, 1)")
+
+    @property
+    def g_on(self) -> float:
+        """LRS conductance in siemens (the maximum synapse weight)."""
+        return 1.0 / self.r_on
+
+    @property
+    def g_off(self) -> float:
+        """HRS conductance in siemens (the minimum synapse weight)."""
+        return 1.0 / self.r_off
+
+    @property
+    def mlc_levels(self) -> int:
+        """Number of programmable conductance levels per cell."""
+        return 1 << self.mlc_bits
+
+    def conductance_for_level(self, level: int) -> float:
+        """Conductance of MLC ``level`` (0 = HRS, levels-1 = LRS).
+
+        Levels are spaced linearly in conductance, matching the
+        dot-product-engine style tuning used for analog MVM.
+        """
+        if not 0 <= level < self.mlc_levels:
+            raise ConfigurationError(
+                f"level {level} outside [0, {self.mlc_levels})"
+            )
+        step = (self.g_on - self.g_off) / (self.mlc_levels - 1)
+        return self.g_off + step * level
+
+    def level_for_conductance(self, conductance: float) -> int:
+        """Nearest programmable MLC level for a target conductance."""
+        if conductance <= self.g_off:
+            return 0
+        if conductance >= self.g_on:
+            return self.mlc_levels - 1
+        step = (self.g_on - self.g_off) / (self.mlc_levels - 1)
+        return round((conductance - self.g_off) / step)
+
+
+#: The device the paper adopts (Gao et al., "A high resolution
+#: nonvolatile analog memory ionic devices", NVMW'13).
+PT_TIO2_DEVICE = ReRAMDeviceParams()

@@ -1,0 +1,34 @@
+"""Numeric formats used by PRIME.
+
+* :mod:`repro.precision.dynamic_fixed_point` — the dynamic fixed-point
+  format (Courbariaux et al.) the paper adopts for inputs, weights and
+  outputs.
+* :mod:`repro.precision.composing` — the input-and-synapse composing
+  scheme of Section III-D that builds 6-bit inputs from two 3-bit
+  signals and 8-bit weights from two 4-bit cells, accumulating the
+  HH/HL/LH partial products with Po-bit truncation.
+"""
+
+from repro.precision.dynamic_fixed_point import (
+    DynamicFixedPoint,
+    quantize_tensor,
+)
+from repro.precision.composing import (
+    ComposingSpec,
+    split_unsigned,
+    compose_unsigned,
+    composed_dot,
+    reference_dot,
+    truncate_to_top_bits,
+)
+
+__all__ = [
+    "DynamicFixedPoint",
+    "quantize_tensor",
+    "ComposingSpec",
+    "split_unsigned",
+    "compose_unsigned",
+    "composed_dot",
+    "reference_dot",
+    "truncate_to_top_bits",
+]

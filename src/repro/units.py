@@ -1,0 +1,76 @@
+"""Unit helpers and conversion constants.
+
+All quantities inside the library are stored in SI base units (seconds,
+joules, watts, meters squared, bytes).  The constants below make call
+sites read like the paper ("22.5 ns", "2 pJ") without a dimensioned-
+quantity dependency.
+
+Example
+-------
+>>> from repro.units import ns, pJ
+>>> t_rcd = 22.5 * ns
+>>> round(t_rcd * 1e9, 1)
+22.5
+"""
+
+from __future__ import annotations
+
+# --- time ---------------------------------------------------------------
+s = 1.0
+ms = 1e-3
+us = 1e-6
+ns = 1e-9
+ps = 1e-12
+
+# --- energy -------------------------------------------------------------
+J = 1.0
+mJ = 1e-3
+uJ = 1e-6
+nJ = 1e-9
+pJ = 1e-12
+fJ = 1e-15
+
+# --- power --------------------------------------------------------------
+W = 1.0
+mW = 1e-3
+uW = 1e-6
+
+# --- area ---------------------------------------------------------------
+mm2 = 1e-6  # square meters
+um2 = 1e-12
+
+# --- frequency ----------------------------------------------------------
+Hz = 1.0
+MHz = 1e6
+GHz = 1e9
+
+# --- data sizes (bytes) -------------------------------------------------
+B = 1
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+# --- electrical ---------------------------------------------------------
+V = 1.0
+mV = 1e-3
+ohm = 1.0
+kohm = 1e3
+S = 1.0  # siemens
+uS = 1e-6
+
+
+def to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds (for reports)."""
+    return seconds / ns
+
+
+def to_pj(joules: float) -> float:
+    """Convert joules to picojoules (for reports)."""
+    return joules / pJ
+
+
+def gops(ops: float, seconds: float) -> float:
+    """Throughput in giga-operations per second."""
+    if seconds <= 0.0:
+        raise ValueError("elapsed time must be positive")
+    return ops / seconds / 1e9

@@ -1,0 +1,196 @@
+"""Tests for the CPU and NPU baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    ExecutionReport,
+    workload_traffic,
+)
+from repro.baselines.cpu import CpuModel
+from repro.baselines.npu import (
+    NpuCoProcessorModel,
+    NpuPimModel,
+    WEIGHT_REUSE_BATCH,
+)
+from repro.errors import WorkloadError
+from repro.eval.workloads import get_workload
+from repro.params.npu import PNPU_CO, NpuParams
+
+
+class TestWorkloadTraffic:
+    def test_mlp_layer_counts(self):
+        traffic = workload_traffic(get_workload("MLP-S").topology())
+        assert len(traffic) == 3
+        first = traffic[0]
+        assert first.macs == 784 * 500
+        assert first.matrix_rows == 784
+        assert first.matrix_cols == 500
+        assert first.reuse == 1
+
+    def test_cnn_conv_reuse(self):
+        traffic = workload_traffic(get_workload("CNN-1").topology())
+        conv = traffic[0]
+        assert conv.is_conv
+        assert conv.reuse == 24 * 24
+        assert conv.matrix_rows == 25  # 5x5x1 kernel
+        assert conv.matrix_cols == 5
+        assert conv.macs == 25 * 5 * 576
+
+    def test_pool_layer(self):
+        traffic = workload_traffic(get_workload("CNN-1").topology())
+        pool = traffic[1]
+        assert pool.is_pool
+        assert pool.weight_elems == 0
+        assert pool.output_elems == 720
+
+    def test_total_macs_match_topology(self):
+        top = get_workload("MLP-L").topology()
+        traffic = workload_traffic(top)
+        assert sum(t.macs for t in traffic) == top.total_macs
+
+
+class TestExecutionReport:
+    def _report(self, latency, energy, batch=1):
+        return ExecutionReport(
+            system="x",
+            workload="w",
+            batch=batch,
+            latency_s=latency,
+            compute_energy_j=energy,
+        )
+
+    def test_speedup(self):
+        fast = self._report(1.0, 1.0)
+        slow = self._report(10.0, 1.0)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_energy_saving(self):
+        lean = self._report(1.0, 2.0)
+        hog = self._report(1.0, 20.0)
+        assert lean.energy_saving_over(hog) == pytest.approx(10.0)
+
+    def test_per_sample_metrics(self):
+        rep = self._report(8.0, 16.0, batch=4)
+        assert rep.latency_per_sample == pytest.approx(2.0)
+        assert rep.energy_per_sample == pytest.approx(4.0)
+
+    def test_breakdowns_normalised(self):
+        rep = ExecutionReport(
+            system="x",
+            workload="w",
+            batch=1,
+            latency_s=4.0,
+            compute_time_s=1.0,
+            buffer_time_s=1.0,
+            memory_time_s=2.0,
+            compute_energy_j=3.0,
+            memory_energy_j=1.0,
+        )
+        tb = rep.time_breakdown()
+        assert tb["memory"] == pytest.approx(0.5)
+        eb = rep.energy_breakdown()
+        assert eb["compute"] == pytest.approx(0.75)
+
+    def test_degenerate_breakdowns(self):
+        rep = self._report(1.0, 0.0)
+        assert rep.energy_breakdown()["compute"] == 0.0
+
+
+class TestCpuModel:
+    def test_small_net_compute_bound(self):
+        rep = CpuModel().estimate(get_workload("CNN-1").topology(), 64)
+        assert rep.compute_time_s > rep.memory_time_s
+
+    def test_large_mlp_memory_heavy(self):
+        rep = CpuModel().estimate(get_workload("MLP-L").topology(), 64)
+        # 12.7 MB of weights against a 2 MB L2: streams from memory.
+        assert rep.extras["spill_fraction"] > 0.8
+        assert rep.memory_time_s > rep.compute_time_s
+
+    def test_cnn1_weights_fit_l2(self):
+        rep = CpuModel().estimate(get_workload("CNN-1").topology(), 64)
+        assert rep.extras["spill_fraction"] == 0.0
+
+    def test_latency_scales_with_batch(self):
+        cpu = CpuModel()
+        top = get_workload("MLP-S").topology()
+        r64 = cpu.estimate(top, 64)
+        r128 = cpu.estimate(top, 128)
+        assert r128.latency_s == pytest.approx(2 * r64.latency_s)
+
+    def test_energy_positive_components(self):
+        rep = CpuModel().estimate(get_workload("MLP-S").topology(), 16)
+        assert rep.compute_energy_j > 0
+        assert rep.memory_energy_j > 0
+
+    def test_batch_validation(self):
+        with pytest.raises(WorkloadError):
+            CpuModel().estimate(get_workload("MLP-S").topology(), 0)
+
+
+class TestNpuModels:
+    def test_co_memory_dominated(self):
+        rep = NpuCoProcessorModel().estimate(
+            get_workload("MLP-L").topology(), 64
+        )
+        assert rep.memory_time_s > rep.compute_time_s
+
+    def test_pim_reduces_memory_time(self):
+        top = get_workload("MLP-L").topology()
+        co = NpuCoProcessorModel().estimate(top, 64)
+        pim = NpuPimModel(instances=1).estimate(top, 64)
+        assert pim.memory_time_s < co.memory_time_s / 4
+        assert pim.compute_time_s == pytest.approx(co.compute_time_s)
+
+    def test_pim_x64_scales_throughput(self):
+        top = get_workload("MLP-S").topology()
+        pim1 = NpuPimModel(instances=1).estimate(top, 4096)
+        pim64 = NpuPimModel(instances=64).estimate(top, 4096)
+        assert pim1.latency_s / pim64.latency_s == pytest.approx(64, rel=0.05)
+
+    def test_pim_energy_independent_of_instances(self):
+        # Fig. 10 plots one pim bar: x1 and x64 spend the same energy.
+        top = get_workload("CNN-2").topology()
+        e1 = NpuPimModel(instances=1).estimate(top, 64).energy_j
+        e64 = NpuPimModel(instances=64).estimate(top, 64).energy_j
+        assert e1 == pytest.approx(e64)
+
+    def test_weight_streaming_amortisation(self):
+        # Large FC weights stream per WEIGHT_REUSE_BATCH samples.
+        top = get_workload("MLP-L").topology()
+        model = NpuCoProcessorModel()
+        traffic = workload_traffic(top)
+        fc = traffic[0]
+        per_sample = model._layer_memory_bytes(fc, batch=64)
+        weight_part = fc.weight_elems * 2 / WEIGHT_REUSE_BATCH
+        act_part = (fc.input_elems + fc.output_elems) * 2
+        assert per_sample == pytest.approx(weight_part + act_part)
+
+    def test_small_weights_resident_for_batch(self):
+        top = get_workload("CNN-1").topology()
+        model = NpuCoProcessorModel()
+        conv = workload_traffic(top)[0]
+        per_sample = model._layer_memory_bytes(conv, batch=64)
+        act_part = (conv.input_elems + conv.output_elems) * 2
+        weight_part = per_sample - act_part
+        assert weight_part == pytest.approx(conv.weight_elems * 2 / 64)
+
+    def test_pim_requires_stacked_params(self):
+        with pytest.raises(WorkloadError):
+            NpuPimModel(params=PNPU_CO, instances=1)
+
+    def test_instance_validation(self):
+        with pytest.raises(WorkloadError):
+            NpuPimModel(instances=0)
+
+    def test_system_names(self):
+        assert NpuCoProcessorModel().system_name == "pNPU-co"
+        assert NpuPimModel(instances=64).system_name == "pNPU-pim-x64"
+
+    def test_compute_time_matches_peak_rate(self):
+        top = get_workload("MLP-S").topology()
+        rep = NpuCoProcessorModel().estimate(top, 1)
+        macs = top.total_macs
+        expected = macs / NpuParams().peak_macs_per_s
+        assert rep.compute_time_s == pytest.approx(expected, rel=0.05)

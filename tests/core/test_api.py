@@ -1,0 +1,96 @@
+"""Tests for the five-call software/hardware interface (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import PrimeSession
+from repro.errors import ExecutionError
+from repro.memory.mat import MatMode
+from repro.memory.subarray import FFSubarrayState
+from repro.memory.controller import MatFunction
+
+
+@pytest.fixture(scope="module")
+def session_and_data(trained_tiny_mlp, tiny_digit_data):
+    topology, net = trained_tiny_mlp
+    _, _, x_test, y_test = tiny_digit_data
+    session = PrimeSession(seed=0)
+    session.map_topology(topology)
+    session.program_weight(net)
+    session.config_datapath()
+    return session, net, x_test, y_test
+
+
+class TestApiSequence:
+    def test_run_before_map_rejected(self):
+        session = PrimeSession(seed=0)
+        with pytest.raises(ExecutionError):
+            session.run(np.zeros((1, 784)))
+        with pytest.raises(ExecutionError):
+            session.estimate()
+        with pytest.raises(ExecutionError):
+            session.config_datapath()
+
+    def test_program_before_map_rejected(self, trained_tiny_mlp):
+        _, net = trained_tiny_mlp
+        session = PrimeSession(seed=0)
+        with pytest.raises(ExecutionError):
+            session.program_weight(net)
+
+
+class TestEndToEnd:
+    def test_mats_morphe_to_compute(self, session_and_data):
+        session, *_ = session_and_data
+        used = [
+            m
+            for sub in session.bank.ff_subarrays
+            for m in sub.mats
+            if m.mode is MatMode.COMPUTE
+        ]
+        # tiny MLP: (785×64 → 4 pairs) + (65×10 → 1 pair), ×2 mats each
+        assert len(used) == 10
+
+    def test_datapath_commands_cover_used_mats(self, session_and_data):
+        session, *_ = session_and_data
+        comp = [
+            mat
+            for mat, cfg in session.controller.mat_configs.items()
+            if cfg.function is MatFunction.COMP
+        ]
+        assert len(comp) == 5  # one per engine-hosting mat
+
+    def test_inference_accuracy(self, session_and_data):
+        session, net, x_test, y_test = session_and_data
+        out = session.run(x_test[:80])
+        labels = session.post_proc(out)
+        acc = float(np.mean(labels == y_test[:80]))
+        # The session programs real mats, so 3% programming variation
+        # applies on top of quantisation.
+        assert acc >= net.accuracy(x_test[:80], y_test[:80]) - 0.15
+
+    def test_estimate_report(self, session_and_data):
+        session, *_ = session_and_data
+        rep = session.estimate(batch=128)
+        assert rep.system == "PRIME"
+        assert rep.latency_s > 0
+
+    def test_subarray_state_after_programming(self, session_and_data):
+        session, *_ = session_and_data
+        assert (
+            session.bank.ff_subarrays[0].state is FFSubarrayState.COMPUTE
+        )
+
+
+class TestRelease:
+    def test_release_returns_to_memory_mode(
+        self, trained_tiny_mlp
+    ):
+        topology, net = trained_tiny_mlp
+        session = PrimeSession(seed=1)
+        session.map_topology(topology)
+        session.program_weight(net)
+        session.release()
+        for sub in session.bank.ff_subarrays:
+            assert sub.state is FFSubarrayState.MEMORY
+        with pytest.raises(ExecutionError):
+            session.run(np.zeros((1, 784)))

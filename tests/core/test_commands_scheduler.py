@@ -1,0 +1,177 @@
+"""Tests for command-stream execution and the bank scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import PrimeSession
+from repro.core.commands import BufferLayout, BufferRegion, CommandStreamRunner
+from repro.core.scheduler import BankScheduler, co_schedule
+from repro.errors import ExecutionError, MappingError
+from repro.eval.workloads import get_workload
+from repro.nn.topology import parse_topology
+
+
+@pytest.fixture(scope="module")
+def programmed_session(trained_tiny_mlp):
+    topology, net = trained_tiny_mlp
+    session = PrimeSession(seed=11)
+    session.map_topology(topology)
+    session.program_weight(net)
+    session.config_datapath()
+    return session
+
+
+class TestBufferLayout:
+    def test_consecutive_regions(self):
+        layout = BufferLayout.plan([100, 50, 25], capacity=1000)
+        assert layout.regions[0] == BufferRegion(0, 100)
+        assert layout.regions[1] == BufferRegion(100, 50)
+        assert layout.regions[2] == BufferRegion(150, 25)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ExecutionError):
+            BufferLayout.plan([600, 600], capacity=1000)
+
+
+class TestCommandStreamRunner:
+    def test_requires_programmed_session(self, trained_tiny_mlp):
+        topology, _ = trained_tiny_mlp
+        session = PrimeSession(seed=1)
+        session.map_topology(topology)
+        with pytest.raises(ExecutionError):
+            CommandStreamRunner(session)
+
+    def test_matches_fast_path(
+        self, programmed_session, tiny_digit_data
+    ):
+        _, _, x_test, _ = tiny_digit_data
+        runner = CommandStreamRunner(programmed_session)
+        agree = 0
+        for i in range(8):
+            logits = runner.run_sample(x_test[i])
+            fast = programmed_session.run(x_test[i : i + 1])[0]
+            agree += int(np.argmax(logits) == np.argmax(fast))
+        assert agree >= 7
+
+    def test_emits_table_i_flow_commands(
+        self, programmed_session, tiny_digit_data
+    ):
+        _, _, x_test, _ = tiny_digit_data
+        runner = CommandStreamRunner(programmed_session)
+        before = len(runner.command_log)
+        runner.run_sample(x_test[0])
+        trace = runner.command_log[before:]
+        ops = [t.split()[0] for t in trace]
+        assert ops[0] == "fetch"
+        assert ops[-1] == "commit"
+        assert "load" in ops and "store" in ops
+        # two weight layers → two load/store pairs (plus input/output)
+        assert ops.count("load") == 2
+
+    def test_moves_real_bytes_through_memory(
+        self, programmed_session, tiny_digit_data
+    ):
+        _, _, x_test, _ = tiny_digit_data
+        runner = CommandStreamRunner(programmed_session)
+        logits = runner.run_sample(x_test[3], mem_offset=1 << 21)
+        raw = programmed_session.bank.mem_read(
+            (1 << 21) + (1 << 16), logits.size * 4
+        )
+        stored = np.frombuffer(raw.tobytes(), dtype=np.float32)
+        assert np.allclose(stored, logits.astype(np.float32))
+
+
+class TestBankScheduler:
+    def test_deploy_medium_gets_replicas(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(get_workload("MLP-S").topology())
+        assert dep.replicas == 64
+        assert len(scheduler.free_banks) == 0
+        assert scheduler.utilization() == pytest.approx(1.0)
+
+    def test_max_replicas_respected(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=4
+        )
+        assert dep.replicas == 4
+        assert len(scheduler.free_banks) == 60
+
+    def test_large_network_gets_pipeline_banks(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(get_workload("VGG-D").topology())
+        assert dep.plan.banks_used > 1
+        assert len(dep.replica_banks[0]) == dep.plan.banks_used
+
+    def test_duplicate_name_rejected(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=1)
+        with pytest.raises(MappingError):
+            scheduler.deploy(get_workload("MLP-S").topology())
+
+    def test_insufficient_banks_rejected(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-M").topology())  # takes all
+        with pytest.raises(MappingError):
+            scheduler.deploy(get_workload("VGG-D").topology())
+
+    def test_release_returns_banks(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=8)
+        scheduler.release("MLP-S")
+        assert len(scheduler.free_banks) == 64
+        assert scheduler.resident == []
+        with pytest.raises(MappingError):
+            scheduler.release("MLP-S")
+
+    def test_place_samples_round_robin(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=4
+        )
+        placement = scheduler.place_samples("MLP-S", 10)
+        assert len(placement) == 10
+        first = [g[0] for g in dep.replica_banks]
+        assert placement[:4] == first
+        assert placement[4] == first[0]
+
+    def test_throughput_scales_with_replicas(self):
+        few = BankScheduler()
+        few.deploy(get_workload("MLP-M").topology(), max_replicas=2)
+        many = BankScheduler()
+        many.deploy(get_workload("MLP-M").topology(), max_replicas=32)
+        assert many.throughput("MLP-M") > 8 * few.throughput("MLP-M")
+
+    def test_unknown_deployment(self):
+        with pytest.raises(MappingError):
+            BankScheduler().throughput("nope")
+
+
+class TestCoSchedule:
+    def test_two_networks_share_the_memory(self):
+        scheduler = co_schedule(
+            [
+                get_workload("MLP-S").topology(),
+                get_workload("CNN-1").topology(),
+            ]
+        )
+        assert set(scheduler.resident) == {"MLP-S", "CNN-1"}
+        banks_a = set(scheduler.deployments["MLP-S"].banks)
+        banks_b = set(scheduler.deployments["CNN-1"].banks)
+        assert not banks_a & banks_b  # disjoint grants
+
+    def test_vgg_coexists_with_mlp(self):
+        scheduler = co_schedule(
+            [
+                get_workload("VGG-D").topology(),
+                get_workload("MLP-S").topology(),
+            ]
+        )
+        vgg = scheduler.deployments["VGG-D"]
+        assert vgg.replicas >= 1
+        assert scheduler.deployments["MLP-S"].replicas >= 1
+
+    def test_empty_schedule(self):
+        scheduler = co_schedule([])
+        assert scheduler.resident == []
+        assert scheduler.utilization() == 0.0

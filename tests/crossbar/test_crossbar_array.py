@@ -1,0 +1,129 @@
+"""Tests for the morphable crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import ArrayMode, CrossbarArray
+from repro.errors import CrossbarError
+from repro.params.crossbar import CrossbarParams
+
+
+@pytest.fixture
+def params() -> CrossbarParams:
+    return CrossbarParams(rows=16, cols=16, sense_amps=8)
+
+
+@pytest.fixture
+def array(params) -> CrossbarArray:
+    return CrossbarArray(params)
+
+
+class TestMemoryMode:
+    def test_starts_in_memory_mode(self, array):
+        assert array.mode is ArrayMode.MEMORY
+
+    def test_write_read_row(self, array, rng):
+        bits = rng.integers(0, 2, 16)
+        array.write_row_bits(3, bits)
+        assert np.array_equal(array.read_row_bits(3), bits)
+
+    def test_all_rows_independent(self, array, rng):
+        rows = rng.integers(0, 2, (16, 16))
+        for r in range(16):
+            array.write_row_bits(r, rows[r])
+        for r in range(16):
+            assert np.array_equal(array.read_row_bits(r), rows[r])
+
+    def test_read_with_noise_still_correct(self, params, rng):
+        # SLC margins are wide enough that read noise never flips bits.
+        array = CrossbarArray(params, rng=rng)
+        bits = rng.integers(0, 2, 16)
+        array.write_row_bits(0, bits)
+        for _ in range(20):
+            assert np.array_equal(array.read_row_bits(0), bits)
+
+    def test_row_bounds(self, array):
+        with pytest.raises(CrossbarError):
+            array.read_row_bits(16)
+
+    def test_non_binary_rejected(self, array):
+        with pytest.raises(CrossbarError):
+            array.write_row_bits(0, np.full(16, 2))
+
+    def test_wrong_width_rejected(self, array):
+        with pytest.raises(CrossbarError):
+            array.write_row_bits(0, np.zeros(8))
+
+    def test_compute_ops_rejected_in_memory_mode(self, array):
+        with pytest.raises(CrossbarError):
+            array.analog_mvm_counts(np.zeros(16))
+        with pytest.raises(CrossbarError):
+            array.program_weight_levels(np.zeros((16, 16), dtype=int))
+
+
+class TestComputeMode:
+    def test_memory_ops_rejected_in_compute_mode(self, array):
+        array.set_mode(ArrayMode.COMPUTE)
+        with pytest.raises(CrossbarError):
+            array.write_row_bits(0, np.zeros(16))
+        with pytest.raises(CrossbarError):
+            array.read_row_bits(0)
+
+    def test_mvm_counts_ideal(self, array):
+        array.set_mode(ArrayMode.COMPUTE)
+        levels = np.zeros((16, 16), dtype=np.int64)
+        levels[0, 0] = 15  # maximum level
+        array.program_weight_levels(levels)
+        inputs = np.zeros(16, dtype=np.int64)
+        inputs[0] = 7  # maximum 3-bit code
+        counts = array.analog_mvm_counts(inputs, with_noise=False)
+        baseline = array.baseline_counts(inputs)
+        net = counts - baseline[0] if baseline.ndim > 1 else counts - baseline
+        assert net[0] == pytest.approx(7 * 15, rel=1e-9)
+
+    def test_baseline_cancellation_full_matrix(self, array, rng):
+        array.set_mode(ArrayMode.COMPUTE)
+        levels = rng.integers(0, 16, (16, 16))
+        array.program_weight_levels(levels)
+        inputs = rng.integers(0, 8, 16)
+        counts = array.analog_mvm_counts(inputs, with_noise=False)
+        net = counts - array.baseline_counts(inputs)
+        assert np.allclose(net, inputs @ levels, rtol=1e-9, atol=1e-6)
+
+    def test_input_level_range_enforced(self, array):
+        array.set_mode(ArrayMode.COMPUTE)
+        array.program_weight_levels(np.zeros((16, 16), dtype=np.int64))
+        with pytest.raises(CrossbarError):
+            array.analog_mvm_counts(np.full(16, 8))
+
+    def test_wrong_input_length(self, array):
+        array.set_mode(ArrayMode.COMPUTE)
+        array.program_weight_levels(np.zeros((16, 16), dtype=np.int64))
+        with pytest.raises(CrossbarError):
+            array.analog_mvm_counts(np.zeros(8))
+
+    def test_wrong_level_shape(self, array):
+        array.set_mode(ArrayMode.COMPUTE)
+        with pytest.raises(CrossbarError):
+            array.program_weight_levels(np.zeros((8, 8), dtype=np.int64))
+
+    def test_noise_perturbs_counts(self, params):
+        array = CrossbarArray(params, rng=np.random.default_rng(3))
+        array.set_mode(ArrayMode.COMPUTE)
+        array.program_weight_levels(
+            np.full((16, 16), 8, dtype=np.int64)
+        )
+        inputs = np.full(16, 4)
+        c1 = array.analog_mvm_counts(inputs, with_noise=True)
+        c2 = array.analog_mvm_counts(inputs, with_noise=True)
+        assert not np.allclose(c1, c2)
+
+    def test_batched_counts(self, array, rng):
+        array.set_mode(ArrayMode.COMPUTE)
+        levels = rng.integers(0, 16, (16, 16))
+        array.program_weight_levels(levels)
+        inputs = rng.integers(0, 8, (5, 16))
+        counts = array.analog_mvm_counts(inputs, with_noise=False)
+        assert counts.shape == (5, 16)
+        net = counts - array.baseline_counts(inputs)
+        assert np.allclose(net, inputs @ levels, atol=1e-6)

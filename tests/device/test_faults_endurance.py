@@ -1,0 +1,110 @@
+"""Tests for fault injection and endurance tracking."""
+
+import numpy as np
+import pytest
+
+from repro.device.endurance import EnduranceTracker
+from repro.device.faults import FaultMap, StuckAtFault
+from repro.errors import DeviceError
+from repro.params.reram import PT_TIO2_DEVICE
+
+
+class TestFaultMap:
+    def test_none_has_no_faults(self):
+        fm = FaultMap.none(4, 4)
+        assert fm.fault_count == 0
+
+    def test_random_rates(self, rng):
+        fm = FaultMap.random(100, 100, rate_hrs=0.05, rate_lrs=0.05, rng=rng)
+        assert 500 < fm.fault_count < 1500  # ~1000 expected
+
+    def test_random_zero_rate(self, rng):
+        fm = FaultMap.random(50, 50, 0.0, 0.0, rng=rng)
+        assert fm.fault_count == 0
+
+    def test_mutually_exclusive_polarity(self, rng):
+        fm = FaultMap.random(200, 200, 0.3, 0.3, rng=rng)
+        assert not np.any(fm.stuck_hrs & fm.stuck_lrs)
+
+    def test_conflicting_masks_rejected(self):
+        mask = np.ones((2, 2), dtype=bool)
+        with pytest.raises(DeviceError):
+            FaultMap(stuck_hrs=mask, stuck_lrs=mask)
+
+    def test_invalid_rates(self, rng):
+        with pytest.raises(DeviceError):
+            FaultMap.random(4, 4, 0.7, 0.7, rng=rng)
+        with pytest.raises(DeviceError):
+            FaultMap.random(4, 4, -0.1, 0.0, rng=rng)
+
+    def test_apply_overrides_only_faulty_cells(self):
+        fm = FaultMap.none(3, 3)
+        fm.stuck_lrs[1, 1] = True
+        g = np.full((3, 3), 0.0005)
+        out = fm.apply(g, PT_TIO2_DEVICE)
+        assert out[1, 1] == pytest.approx(PT_TIO2_DEVICE.g_on)
+        assert out[0, 0] == pytest.approx(0.0005)
+        # input untouched
+        assert g[1, 1] == pytest.approx(0.0005)
+
+    def test_apply_shape_check(self):
+        fm = FaultMap.none(3, 3)
+        with pytest.raises(DeviceError):
+            fm.apply(np.zeros((2, 2)), PT_TIO2_DEVICE)
+
+    def test_enum_values(self):
+        assert StuckAtFault.STUCK_AT_HRS.value == "hrs"
+        assert StuckAtFault.STUCK_AT_LRS.value == "lrs"
+
+
+class TestEnduranceTracker:
+    def test_initial_state(self):
+        t = EnduranceTracker(4, 4, endurance=100)
+        assert t.max_writes == 0
+        assert t.total_writes == 0
+        assert t.wear_fraction() == 0.0
+        assert t.exhausted_cells() == 0
+
+    def test_record_and_report(self):
+        t = EnduranceTracker(2, 2, endurance=10)
+        mask = np.array([[True, False], [False, True]])
+        for _ in range(3):
+            t.record_writes(mask)
+        assert t.max_writes == 3
+        assert t.total_writes == 6
+        assert t.wear_fraction() == pytest.approx(0.3)
+
+    def test_exhaustion(self):
+        t = EnduranceTracker(2, 2, endurance=2)
+        mask = np.ones((2, 2), dtype=bool)
+        t.record_writes(mask)
+        t.record_writes(mask)
+        assert t.exhausted_cells() == 4
+        assert t.remaining_reprogram_cycles() == 0.0
+
+    def test_remaining_cycles(self):
+        t = EnduranceTracker(2, 2, endurance=1e6)
+        t.record_writes(np.ones((2, 2), dtype=bool))
+        assert t.remaining_reprogram_cycles() == pytest.approx(1e6 - 1)
+        assert t.remaining_reprogram_cycles(writes_per_cycle=2) == (
+            pytest.approx((1e6 - 1) / 2)
+        )
+
+    def test_reram_outlives_daily_reconfiguration(self):
+        # With 1e12 endurance, reprogramming a mat 1000×/day lasts
+        # millions of years — the paper's argument that ReRAM wear is a
+        # non-issue compared to PCM.
+        t = EnduranceTracker(1, 1, endurance=1e12)
+        days = t.remaining_reprogram_cycles(writes_per_cycle=1000)
+        assert days > 1e6 * 365
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            EnduranceTracker(0, 1, 10)
+        with pytest.raises(DeviceError):
+            EnduranceTracker(1, 1, 0)
+        t = EnduranceTracker(2, 2, 10)
+        with pytest.raises(DeviceError):
+            t.record_writes(np.ones((3, 3), dtype=bool))
+        with pytest.raises(DeviceError):
+            t.remaining_reprogram_cycles(writes_per_cycle=0)

@@ -1,0 +1,118 @@
+"""Tests for the IR-drop wire-resistance model."""
+
+import numpy as np
+import pytest
+
+from repro.device.cell import CellArray
+from repro.device.irdrop import (
+    apply_ir_drop,
+    wire_distance_matrix,
+    worst_case_attenuation,
+)
+from repro.errors import DeviceError
+from repro.params.reram import PT_TIO2_DEVICE
+
+
+class TestDistanceMatrix:
+    def test_shape(self):
+        d = wire_distance_matrix(4, 6)
+        assert d.shape == (4, 6)
+
+    def test_corner_distances(self):
+        d = wire_distance_matrix(4, 4)
+        # cell (rows-1, 0): adjacent to both driver entry and the SA
+        assert d[3, 0] == 0.0
+        # cell (0, cols-1): longest wordline + longest bitline path
+        assert d[0, 3] == 6.0
+
+    def test_monotone_along_wordline(self):
+        d = wire_distance_matrix(8, 8)
+        assert np.all(np.diff(d, axis=1) > 0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            wire_distance_matrix(0, 4)
+
+
+class TestApplyIrDrop:
+    def test_zero_resistance_identity(self, rng):
+        g = rng.random((8, 8)) * 1e-3
+        out = apply_ir_drop(g, 0.0)
+        assert np.array_equal(out, g)
+        assert out is not g  # copy
+
+    def test_attenuation_everywhere(self, rng):
+        g = rng.random((8, 8)) * 1e-3 + 1e-5
+        out = apply_ir_drop(g, 2.0)
+        inner = out[:-1, 1:]  # cells with non-zero distance
+        assert np.all(inner <= g[:-1, 1:])
+
+    def test_far_corner_most_attenuated(self):
+        g = np.full((8, 8), PT_TIO2_DEVICE.g_on)
+        out = apply_ir_drop(g, 2.0)
+        ratio = out / g
+        assert ratio[0, 7] == ratio.min()
+        assert ratio[7, 0] == pytest.approx(1.0)
+
+    def test_more_resistance_more_loss(self):
+        g = np.full((16, 16), PT_TIO2_DEVICE.g_on)
+        mild = apply_ir_drop(g, 1.0).sum()
+        harsh = apply_ir_drop(g, 5.0).sum()
+        assert harsh < mild < g.sum()
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            apply_ir_drop(np.zeros((2, 2)), -1.0)
+        with pytest.raises(DeviceError):
+            apply_ir_drop(np.zeros(4), 1.0)
+
+
+class TestWorstCaseBound:
+    def test_paper_scale_array_stays_accurate(self):
+        # 256×256 with ~1 Ω wire segments and 1 kΩ LRS: the worst cell
+        # loses ~1/3... of its current; the bound quantifies it.
+        loss = worst_case_attenuation(
+            PT_TIO2_DEVICE.g_on, 256, 256, 1.0
+        )
+        assert 0.0 < loss < 0.5
+
+    def test_small_arrays_are_safe(self):
+        loss = worst_case_attenuation(PT_TIO2_DEVICE.g_on, 12, 12, 1.0)
+        assert loss < 0.05
+
+    def test_grows_with_array_size(self):
+        small = worst_case_attenuation(PT_TIO2_DEVICE.g_on, 64, 64, 1.0)
+        big = worst_case_attenuation(PT_TIO2_DEVICE.g_on, 512, 512, 1.0)
+        assert big > small
+
+
+class TestCellArrayIntegration:
+    def test_ir_drop_reduces_currents(self):
+        levels = np.full((32, 32), 15, dtype=np.int64)
+        ideal = CellArray(32, 32)
+        lossy = CellArray(32, 32, wire_resistance=2.0)
+        ideal.program_levels(levels)
+        lossy.program_levels(levels)
+        v = np.full(32, 0.3)
+        assert lossy.bitline_currents(v).sum() < ideal.bitline_currents(
+            v
+        ).sum()
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(DeviceError):
+            CellArray(4, 4, wire_resistance=-1.0)
+
+    def test_mvm_error_grows_with_wire_resistance(self, rng):
+        levels = rng.integers(0, 16, (32, 32))
+        v = rng.random(32) * 0.4
+        reference = None
+        errors = []
+        for r_wire in (0.0, 1.0, 4.0):
+            arr = CellArray(32, 32, wire_resistance=r_wire)
+            arr.program_levels(levels)
+            currents = arr.bitline_currents(v)
+            if reference is None:
+                reference = currents
+                continue
+            errors.append(np.abs(currents - reference).sum())
+        assert errors[0] < errors[1]

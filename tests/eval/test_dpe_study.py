@@ -1,0 +1,71 @@
+"""Tests for the Dot-Product-Engine output-precision study."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.eval.dpe_study import (
+    dpe_study,
+    effective_output_bits,
+    measure_enob,
+)
+
+
+class TestEnobFormula:
+    def test_known_snr(self):
+        # SNR of 2^n gives ~ (6.02n - 1.76)/6.02 ≈ n - 0.29 bits
+        signal = np.full(1000, 64.0)
+        error = np.full(1000, 1.0)
+        enob = effective_output_bits(signal, error)
+        assert enob == pytest.approx(6.0 - 1.76 / 6.02, abs=0.01)
+
+    def test_zero_error_is_infinite(self):
+        assert effective_output_bits(
+            np.ones(4), np.zeros(4)
+        ) == float("inf")
+
+    def test_zero_signal_rejected(self):
+        with pytest.raises(WorkloadError):
+            effective_output_bits(np.zeros(4), np.ones(4))
+
+
+class TestMeasureEnob:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            measure_enob(0)
+        with pytest.raises(WorkloadError):
+            measure_enob(8)
+
+    def test_reproducible(self):
+        a = measure_enob(4, trials=6, seed=3)
+        b = measure_enob(4, trials=6, seed=3)
+        assert a == pytest.approx(b)
+
+    def test_lower_variation_raises_floor(self):
+        noisy = measure_enob(6, trials=10, programming_sigma=0.05)
+        clean = measure_enob(6, trials=10, programming_sigma=0.003)
+        assert clean > noisy
+
+
+class TestStudyShape:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return dpe_study(trials=12)
+
+    def test_monotone_in_weight_bits(self, study):
+        values = [study.enob[k] for k in sorted(study.enob)]
+        assert all(b >= a - 0.1 for a, b in zip(values, values[1:]))
+
+    def test_roughly_bit_per_bit_early(self, study):
+        assert study.enob[3] - study.enob[2] > 0.6
+
+    def test_saturation_from_analog_noise(self, study):
+        # §III-D anchor: beyond mid precision the analog floor takes
+        # over — gains flatten (DPE: 4-bit → ~6-bit out, 6-bit → ~7).
+        early_gain = study.enob[3] - study.enob[2]
+        late_gain = study.enob[6] - study.enob[5]
+        assert late_gain < early_gain
+
+    def test_four_bit_weights_give_useful_output(self, study):
+        # the practical PRIME assumption: 4-bit cells remain useful
+        assert 3.0 < study.enob[4] < 7.0

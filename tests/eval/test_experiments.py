@@ -1,0 +1,216 @@
+"""Tests for the per-figure experiment drivers (shapes of Figs. 8-12)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    geometric_mean,
+    run_all_systems,
+)
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return figure8()
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figure9()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return figure10()
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return figure11()
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+
+class TestRunAllSystems:
+    def test_all_workloads_all_systems(self):
+        comparison = run_all_systems(batch=256, workloads=("CNN-1",))
+        systems = set(comparison.reports["CNN-1"])
+        assert systems == {
+            "CPU",
+            "pNPU-co",
+            "pNPU-pim-x1",
+            "pNPU-pim-x64",
+            "PRIME",
+        }
+
+
+class TestFigure8Shape:
+    def test_every_system_beats_cpu(self, fig8):
+        for system, values in fig8.speedups.items():
+            for wl, speedup in values.items():
+                assert speedup > 1.0, (system, wl)
+
+    def test_ordering_per_workload(self, fig8):
+        for wl in MLBENCH_ORDER:
+            co = fig8.speedups["pNPU-co"][wl]
+            pim1 = fig8.speedups["pNPU-pim-x1"][wl]
+            pim64 = fig8.speedups["pNPU-pim-x64"][wl]
+            prime = fig8.speedups["PRIME"][wl]
+            assert co < pim1 < pim64, wl
+            assert prime > pim64, wl
+
+    def test_pim_over_co_factor(self, fig8):
+        # The paper reports ~9.1x average PIM benefit for the same NPU.
+        ratio = fig8.gmeans["pNPU-pim-x1"] / fig8.gmeans["pNPU-co"]
+        assert 2.0 < ratio < 20.0
+
+    def test_prime_gmean_band(self, fig8):
+        # Paper: ~2360x average speedup for PRIME.
+        assert 1_000 < fig8.gmeans["PRIME"] < 100_000
+
+    def test_prime_over_pim_x64(self, fig8):
+        # Paper: PRIME ≈ 4.1x of pNPU-pim-x64 on average.
+        ratio = fig8.gmeans["PRIME"] / fig8.gmeans["pNPU-pim-x64"]
+        assert 1.5 < ratio < 30.0
+
+    def test_vgg_has_smallest_relative_prime_advantage(self, fig8):
+        # §V-B: PRIME's speedup on VGG-D is relatively smaller because
+        # of costly inter-bank communication.
+        ratios = {
+            wl: fig8.speedups["PRIME"][wl]
+            / fig8.speedups["pNPU-pim-x64"][wl]
+            for wl in MLBENCH_ORDER
+        }
+        assert ratios["VGG-D"] == min(ratios.values())
+
+    def test_utilization_reported(self, fig8):
+        for wl, (before, after) in fig8.utilization.items():
+            assert 0.0 < before <= 1.0
+            assert before <= after <= 1.0 + 1e-9
+
+
+class TestFigure9Shape:
+    def test_co_normalised_to_one(self, fig9):
+        for wl in MLBENCH_ORDER:
+            co = fig9.breakdown[wl]["pNPU-co"]
+            assert co["compute+buffer"] + co["memory"] == pytest.approx(1.0)
+
+    def test_co_is_memory_dominated_for_mnist_workloads(self, fig9):
+        for wl in ("CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L"):
+            co = fig9.breakdown[wl]["pNPU-co"]
+            assert co["memory"] > 0.5, wl
+
+    def test_pim_cuts_memory_time(self, fig9):
+        for wl in MLBENCH_ORDER:
+            co_mem = fig9.breakdown[wl]["pNPU-co"]["memory"]
+            pim_mem = fig9.breakdown[wl]["pNPU-pim"]["memory"]
+            assert pim_mem < 0.4 * co_mem, wl
+
+    def test_pim_compute_unchanged(self, fig9):
+        for wl in MLBENCH_ORDER:
+            co = fig9.breakdown[wl]["pNPU-co"]["compute+buffer"]
+            pim = fig9.breakdown[wl]["pNPU-pim"]["compute+buffer"]
+            assert pim == pytest.approx(co, rel=1e-6)
+
+    def test_prime_memory_time_is_zero_single_bank(self, fig9):
+        # Fig. 9: PRIME reduces visible memory time to zero (the
+        # buffers hide it); VGG-D's inter-bank hops may show.
+        for wl in ("CNN-1", "CNN-2", "MLP-S", "MLP-M", "MLP-L"):
+            assert fig9.breakdown[wl]["PRIME"]["memory"] == 0.0
+
+    def test_prime_total_far_below_co(self, fig9):
+        for wl in MLBENCH_ORDER:
+            prime = fig9.breakdown[wl]["PRIME"]
+            total = prime["compute+buffer"] + prime["memory"]
+            assert total < 0.5, wl
+
+
+class TestFigure10Shape:
+    def test_ordering_per_workload(self, fig10):
+        for wl in MLBENCH_ORDER:
+            co = fig10.savings["pNPU-co"][wl]
+            pim = fig10.savings["pNPU-pim-x64"][wl]
+            prime = fig10.savings["PRIME"][wl]
+            assert 1.0 < co < pim < prime, wl
+
+    def test_prime_gmean_band(self, fig10):
+        # Paper: ~895x average energy saving (figure bars run higher).
+        assert 300 < fig10.gmeans["PRIME"] < 30_000
+
+    def test_mlps_save_more_than_small_cnns(self, fig10):
+        # Small CNNs underuse the crossbars; MLPs fill them.
+        assert (
+            fig10.savings["PRIME"]["MLP-L"]
+            > fig10.savings["PRIME"]["CNN-1"]
+        )
+
+    def test_only_three_systems_plotted(self, fig10):
+        # pim-x1 is omitted: identical energy to pim-x64.
+        assert set(fig10.savings) == {"pNPU-co", "pNPU-pim-x64", "PRIME"}
+
+
+class TestFigure11Shape:
+    def test_co_breakdown_sums_to_one(self, fig11):
+        for wl in MLBENCH_ORDER:
+            co = fig11.breakdown[wl]["pNPU-co"]
+            assert sum(co.values()) == pytest.approx(1.0)
+
+    def test_pim_saves_most_memory_energy(self, fig11):
+        # §V-C: pNPU-pim saves ~93.9% of pNPU-co's memory energy.
+        saving = fig11.memory_energy_saving_pim()
+        assert 0.7 < saving < 0.99
+
+    def test_pim_compute_and_buffer_unchanged(self, fig11):
+        for wl in MLBENCH_ORDER:
+            co = fig11.breakdown[wl]["pNPU-co"]
+            pim = fig11.breakdown[wl]["pNPU-pim-x64"]
+            assert pim["compute"] == pytest.approx(co["compute"], rel=1e-6)
+            assert pim["buffer"] == pytest.approx(co["buffer"], rel=1e-6)
+
+    def test_prime_reduces_all_three_parts(self, fig11):
+        for wl in MLBENCH_ORDER:
+            co = fig11.breakdown[wl]["pNPU-co"]
+            prime = fig11.breakdown[wl]["PRIME"]
+            assert prime["buffer"] < co["buffer"], wl
+            assert prime["memory"] < co["memory"], wl
+            total_prime = sum(prime.values())
+            assert total_prime < 0.25 * sum(co.values()), wl
+
+    def test_cnns_relatively_buffer_heavy(self, fig11):
+        # §V-C: CNN benchmarks spend relatively more in buffers and
+        # less in memory than MLPs.
+        cnn = fig11.breakdown["CNN-1"]["PRIME"]
+        mlp = fig11.breakdown["MLP-L"]["PRIME"]
+        cnn_ratio = cnn["buffer"] / max(sum(cnn.values()), 1e-12)
+        mlp_ratio = mlp["buffer"] / max(sum(mlp.values()), 1e-12)
+        assert cnn_ratio > mlp_ratio
+
+
+class TestFigure12Shape:
+    def test_chip_overhead(self):
+        r = figure12()
+        assert r.chip_overhead == pytest.approx(0.0576, abs=0.001)
+
+    def test_mat_overhead(self):
+        r = figure12()
+        assert r.ff_mat_overhead == pytest.approx(0.60, abs=0.01)
+
+    def test_breakdown_matches_fig12(self):
+        r = figure12()
+        b = r.mat_breakdown
+        assert b["driver"] == pytest.approx(0.23 / 0.60, abs=0.01)
+        assert b["subtraction+sigmoid"] == pytest.approx(
+            0.29 / 0.60, abs=0.01
+        )
+        assert b["control/mux/etc"] == pytest.approx(0.08 / 0.60, abs=0.01)

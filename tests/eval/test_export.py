@@ -1,0 +1,67 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.eval.experiments import figure8, figure12
+from repro.eval.export import (
+    export_all,
+    export_figure6,
+    export_figure8,
+    export_figure12,
+)
+from repro.eval.precision_study import PrecisionStudyResult
+from repro.eval.workloads import MLBENCH_ORDER
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.reader(fh))
+
+
+class TestFigureExports:
+    def test_figure8_rows(self, tmp_path):
+        result = figure8(batch=256)
+        path = tmp_path / "fig8.csv"
+        export_figure8(result, path)
+        rows = read_csv(path)
+        assert rows[0] == ["system", *MLBENCH_ORDER, "gmean"]
+        assert len(rows) == 1 + len(result.speedups)
+        # numeric round trip
+        prime_row = next(r for r in rows if r[0] == "PRIME")
+        assert float(prime_row[-1]) == pytest.approx(
+            result.gmeans["PRIME"], rel=0.01
+        )
+
+    def test_figure12_rows(self, tmp_path):
+        path = tmp_path / "fig12.csv"
+        export_figure12(figure12(), path)
+        rows = read_csv(path)
+        values = {r[0]: float(r[1]) for r in rows[1:]}
+        assert values["chip_overhead"] == pytest.approx(0.0576, abs=0.001)
+        assert values["ff_mat_overhead"] == pytest.approx(0.60)
+
+    def test_figure6_rows(self, tmp_path):
+        result = PrecisionStudyResult(
+            float_accuracy=0.99,
+            grid={(3, 4): 0.9, (6, 8): 0.98},
+        )
+        path = tmp_path / "fig6.csv"
+        export_figure6(result, path)
+        rows = read_csv(path)
+        assert rows[0] == ["input_bits", "weight_bits", "accuracy"]
+        assert rows[1] == ["float", "float", "0.9900"]
+        assert ["3", "4", "0.9000"] in rows
+
+    def test_export_all_writes_five_files(self, tmp_path):
+        written = export_all(tmp_path, batch=256)
+        assert len(written) == 5
+        for path in written:
+            assert path.exists()
+            assert len(read_csv(path)) > 1
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "fig8.csv"
+        export_figure8(figure8(batch=256), path)
+        assert path.exists()

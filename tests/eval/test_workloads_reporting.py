@@ -1,0 +1,77 @@
+"""Tests for the MlBench definitions (Table III) and report rendering."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.eval.reporting import format_factor, render_breakdown, render_table
+from repro.eval.workloads import MLBENCH, MLBENCH_ORDER, get_workload
+
+
+class TestTableIII:
+    def test_all_six_benchmarks_present(self):
+        assert set(MLBENCH) == {
+            "CNN-1",
+            "CNN-2",
+            "MLP-S",
+            "MLP-M",
+            "MLP-L",
+            "VGG-D",
+        }
+        assert tuple(sorted(MLBENCH_ORDER)) == tuple(sorted(MLBENCH))
+
+    def test_mlp_sizes(self):
+        assert get_workload("MLP-S").topology().total_synapses == 519500
+        assert get_workload("MLP-M").topology().total_synapses == (
+            784 * 1000 + 1000 * 500 + 500 * 250 + 250 * 10
+        )
+        assert get_workload("MLP-L").topology().total_synapses == (
+            784 * 1500 + 1500 * 1000 + 1000 * 500 + 500 * 10
+        )
+
+    def test_cnn_flatten_sizes_match_table(self):
+        # Table III embeds the flatten sizes 720 and 1210.
+        cnn1 = get_workload("CNN-1").topology()
+        assert cnn1.layers[1].output_shape == (12, 12, 5)  # 720
+        cnn2 = get_workload("CNN-2").topology()
+        assert cnn2.layers[1].output_shape == (11, 11, 10)  # 1210
+
+    def test_vgg_is_analytical_only(self):
+        assert not get_workload("VGG-D").functional
+        assert get_workload("MLP-S").functional
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("AlexNet")
+
+    def test_mnist_input_shapes(self):
+        assert get_workload("CNN-1").input_shape == (28, 28, 1)
+        assert get_workload("MLP-S").input_shape == (784,)
+        assert get_workload("VGG-D").input_shape == (224, 224, 3)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "T", ["name", "value"], [["a", 1], ["long-name", 22]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_empty_rows(self):
+        text = render_table("T", ["a"], [])
+        assert "a" in text
+
+    def test_render_breakdown_percentages(self):
+        text = render_breakdown(
+            "B",
+            {"sysA": {"compute": 0.25, "memory": 0.75}},
+        )
+        assert "25.0%" in text
+        assert "75.0%" in text
+
+    def test_format_factor_ranges(self):
+        assert format_factor(2.5) == "2.50x"
+        assert format_factor(55.1) == "55.1x"
+        assert format_factor(2360.0) == "2,360x"

@@ -1,0 +1,140 @@
+"""Tests for mixed-signal in-situ training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.insitu import InSituTrainer
+from repro.nn.layers import Conv2D, Dense, ReLU, Sigmoid
+from repro.nn.network import Sequential
+from repro.params.crossbar import CrossbarParams
+
+
+def blob_task(rng, n=240, d=16, classes=3):
+    """Linearly separable Gaussian blobs."""
+    centers = rng.standard_normal((classes, d)) * 4.0
+    labels = rng.integers(0, classes, n)
+    x = centers[labels] + rng.standard_normal((n, d))
+    # in-situ inputs are non-negative, normalised voltage codes
+    x = np.clip(x - x.min(), 0.0, None)
+    return x / x.max(), labels
+
+
+@pytest.fixture
+def task(rng):
+    return blob_task(rng)
+
+
+def small_net(d=16, hidden=12, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Dense(d, hidden, rng=rng, init="he"),
+            ReLU(),
+            Dense(hidden, classes, rng=rng),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_wraps_dense_relu_stack(self):
+        trainer = InSituTrainer(small_net())
+        assert len(trainer.layers) == 2
+        assert isinstance(trainer.layers[0].activation, ReLU)
+        assert trainer.layers[1].activation is None
+
+    def test_sigmoid_supported(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(
+            [Dense(8, 4, rng=rng), Sigmoid(), Dense(4, 2, rng=rng)]
+        )
+        trainer = InSituTrainer(net)
+        assert isinstance(trainer.layers[0].activation, Sigmoid)
+
+    def test_conv_rejected(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Conv2D(1, 2, 3, rng=rng)])
+        with pytest.raises(ExecutionError):
+            InSituTrainer(net)
+
+    def test_oversized_layer_rejected(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(300, 10, rng=rng)])  # 301 rows > 256
+        with pytest.raises(ExecutionError):
+            InSituTrainer(net)
+
+    def test_bad_interval(self):
+        with pytest.raises(ExecutionError):
+            InSituTrainer(small_net(), reprogram_interval=0)
+
+
+class TestTraining:
+    def test_learns_separable_task(self, task):
+        x, y = task
+        trainer = InSituTrainer(
+            small_net(), rng=np.random.default_rng(1)
+        )
+        before = trainer.accuracy(x, y)
+        result = trainer.train(
+            x,
+            y,
+            epochs=4,
+            batch_size=24,
+            learning_rate=0.1,
+            rng=np.random.default_rng(2),
+        )
+        after = result.accuracies[-1]
+        assert after > before
+        assert after > 0.8
+        assert result.losses[-1] < result.losses[0]
+
+    def test_write_accounting(self, task):
+        x, y = task
+        trainer = InSituTrainer(small_net())
+        result = trainer.train(x, y, epochs=2, learning_rate=0.1)
+        assert result.total_cell_writes > 0
+        assert result.write_energy_j > 0
+        assert len(result.cell_writes) == 2
+
+    def test_sparse_reprogramming_writes_fewer_cells(self, task):
+        # Tiny learning rate → most levels never change → few writes.
+        x, y = task
+        hot = InSituTrainer(small_net()).train(
+            x, y, epochs=1, learning_rate=0.1
+        )
+        cold = InSituTrainer(small_net()).train(
+            x, y, epochs=1, learning_rate=1e-6
+        )
+        assert cold.total_cell_writes < hot.total_cell_writes
+
+    def test_reprogram_interval_trades_writes(self, task):
+        x, y = task
+        frequent = InSituTrainer(
+            small_net(), reprogram_interval=1
+        ).train(x, y, epochs=1, learning_rate=0.1)
+        rare = InSituTrainer(
+            small_net(), reprogram_interval=8
+        ).train(x, y, epochs=1, learning_rate=0.1)
+        assert rare.total_cell_writes <= frequent.total_cell_writes
+
+    def test_endurance_headroom_is_astronomical(self, task):
+        x, y = task
+        trainer = InSituTrainer(small_net())
+        trainer.train(x, y, epochs=1, learning_rate=0.1)
+        # §II-A: 1e12 endurance makes wear a non-issue
+        assert trainer.endurance_headroom() > 1e9
+
+    def test_training_with_device_variation(self, task):
+        x, y = task
+        trainer = InSituTrainer(
+            small_net(), rng=np.random.default_rng(7)
+        )
+        result = trainer.train(
+            x,
+            y,
+            epochs=4,
+            learning_rate=0.1,
+            rng=np.random.default_rng(8),
+        )
+        # learning around the hardware still converges
+        assert result.accuracies[-1] > 0.75

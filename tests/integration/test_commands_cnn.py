@@ -1,0 +1,49 @@
+"""Command-stream execution of a convolutional network."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import PrimeSession
+from repro.core.commands import CommandStreamRunner
+
+
+@pytest.fixture(scope="module")
+def cnn_session(trained_tiny_cnn):
+    topology, net, x_test, y_test = trained_tiny_cnn
+    session = PrimeSession(seed=21)
+    session.map_topology(topology)
+    session.program_weight(net)
+    session.config_datapath()
+    return session, x_test, y_test
+
+
+class TestCnnCommandStream:
+    def test_conv_sample_matches_fast_path(self, cnn_session):
+        session, x_test, _ = cnn_session
+        runner = CommandStreamRunner(session)
+        agree = 0
+        for i in range(6):
+            logits = runner.run_sample(x_test[i])
+            fast = session.run(x_test[i : i + 1])[0]
+            agree += int(np.argmax(logits) == np.argmax(fast))
+        assert agree >= 5
+
+    def test_conv_load_moves_im2col_codes(self, cnn_session):
+        session, x_test, _ = cnn_session
+        runner = CommandStreamRunner(session)
+        before = len(runner.command_log)
+        runner.run_sample(x_test[0])
+        trace = runner.command_log[before:]
+        loads = [t for t in trace if t.startswith("load")]
+        # conv layer loads the full im2col expansion: 26*26 patches x
+        # (3*3*1 + bias) codes
+        conv_load = loads[0]
+        size = int(conv_load.rpartition("x")[2])
+        assert size == 26 * 26 * 10
+
+    def test_pooling_happens_between_commands(self, cnn_session):
+        session, x_test, y_test = cnn_session
+        runner = CommandStreamRunner(session)
+        logits = runner.run_sample(x_test[1])
+        assert logits.shape == (10,)
+        assert np.isfinite(logits).all()

@@ -1,0 +1,189 @@
+"""Tests for the bank and main-memory functional models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.bank import Bank
+from repro.memory.main_memory import MainMemory
+from repro.memory.metering import CostCategory, CostMeter
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+
+
+@pytest.fixture
+def small_config() -> PrimeConfig:
+    """A bank with 8 subarrays × 4 mats of 32×32 cells (fast)."""
+    xbar = CrossbarParams(rows=32, cols=32, sense_amps=8)
+    org = MemoryOrganization(
+        subarrays_per_bank=8,
+        mats_per_subarray=4,
+        mat_rows=32,
+        mat_cols=32,
+    )
+    return PrimeConfig(crossbar=xbar, organization=org)
+
+
+@pytest.fixture
+def bank(small_config) -> Bank:
+    return Bank(small_config)
+
+
+class TestBankGeometry:
+    def test_subarray_roles(self, bank, small_config):
+        org = small_config.organization
+        assert len(bank.ff_subarrays) == org.ff_subarrays_per_bank
+        assert len(bank.mem_subarrays) == (
+            org.subarrays_per_bank
+            - org.ff_subarrays_per_bank
+            - org.buffer_subarrays_per_bank
+        )
+
+    def test_ff_mats(self, bank, small_config):
+        assert len(bank.ff_mats) == small_config.ff_mats_per_bank
+
+    def test_capacity(self, bank):
+        per_sub = bank.mem_subarrays[0].capacity_bytes
+        assert bank.mem_capacity_bytes == per_sub * len(bank.mem_subarrays)
+
+
+class TestMemAccess:
+    def test_write_read_round_trip(self, bank, rng):
+        data = rng.integers(0, 256, 300).astype(np.uint8)
+        bank.mem_write(100, data)
+        assert np.array_equal(bank.mem_read(100, 300), data)
+
+    def test_cross_subarray_access(self, bank, rng):
+        per_sub = bank.mem_subarrays[0].capacity_bytes
+        data = rng.integers(0, 256, 64).astype(np.uint8)
+        offset = per_sub - 32  # straddles the subarray boundary
+        bank.mem_write(offset, data)
+        assert np.array_equal(bank.mem_read(offset, 64), data)
+
+    def test_out_of_range(self, bank):
+        with pytest.raises(MemoryError_):
+            bank.mem_read(bank.mem_capacity_bytes, 1)
+
+    def test_access_charges_memory_category(self, bank):
+        bank.mem_read(0, 64)
+        assert bank.meter.time_s[CostCategory.MEMORY] > 0
+        assert bank.meter.energy_j[CostCategory.MEMORY] > 0
+        assert bank.meter.time_s[CostCategory.COMPUTE] == 0
+
+    def test_write_slower_than_read(self, small_config):
+        bank_r = Bank(small_config)
+        bank_w = Bank(small_config)
+        bank_r.mem_read(0, 1024)
+        bank_w.mem_write(0, np.zeros(1024, dtype=np.uint8))
+        assert (
+            bank_w.meter.time_s[CostCategory.MEMORY]
+            > bank_r.meter.time_s[CostCategory.MEMORY]
+        )
+
+
+class TestTableIDataFlow:
+    def test_fetch_moves_mem_to_buffer(self, bank, rng):
+        data = rng.integers(0, 256, 128).astype(np.uint8)
+        bank.mem_write(0, data)
+        bank.fetch(0, 16, 128)
+        assert np.array_equal(bank.buffer.read(16, 128), data)
+
+    def test_commit_moves_buffer_to_mem(self, bank, rng):
+        data = rng.integers(0, 256, 64).astype(np.uint8)
+        bank.buffer.write(8, data)
+        bank.commit(8, 512, 64)
+        assert np.array_equal(bank.mem_read(512, 64), data)
+
+    def test_load_store_use_private_port(self, bank, rng):
+        data = rng.integers(0, 256, 32).astype(np.uint8)
+        bank.store(data, 0)
+        out = bank.load(0, 32)
+        assert np.array_equal(out, data)
+        # private-port traffic is hidden from the critical path ...
+        assert bank.meter.time_s[CostCategory.BUFFER] == 0.0
+        assert bank.meter.hidden_time_s[CostCategory.BUFFER] > 0.0
+        # ... and does not touch the memory category at all
+        assert bank.meter.time_s[CostCategory.MEMORY] == 0.0
+
+    def test_load_can_be_non_hidden(self, bank, rng):
+        bank.store(rng.integers(0, 256, 8).astype(np.uint8), 0, hidden=False)
+        assert bank.meter.time_s[CostCategory.BUFFER] > 0.0
+
+    def test_fetch_charges_gdl_twice(self, small_config, rng):
+        # fetch = Mem->row buffer + row buffer->Buffer, both on the GDL
+        bank_fetch = Bank(small_config)
+        bank_read = Bank(small_config)
+        data = rng.integers(0, 256, 128).astype(np.uint8)
+        bank_fetch.mem_write(0, data)
+        bank_read.mem_write(0, data)
+        t0f = bank_fetch.meter.time_s[CostCategory.MEMORY]
+        t0r = bank_read.meter.time_s[CostCategory.MEMORY]
+        bank_fetch.fetch(0, 0, 128)
+        bank_read.mem_read(0, 128)
+        dt_fetch = bank_fetch.meter.time_s[CostCategory.MEMORY] - t0f
+        dt_read = bank_read.meter.time_s[CostCategory.MEMORY] - t0r
+        assert dt_fetch > dt_read
+
+
+class TestMainMemory:
+    def test_lazy_bank_instantiation(self, small_config):
+        mm = MainMemory(small_config)
+        assert mm.instantiated_banks == []
+        mm.bank(3)
+        assert mm.instantiated_banks == [3]
+
+    def test_bank_identity(self, small_config):
+        mm = MainMemory(small_config)
+        assert mm.bank(0) is mm.bank(0)
+
+    def test_bank_bounds(self, small_config):
+        mm = MainMemory(small_config)
+        with pytest.raises(MemoryError_):
+            mm.bank(mm.num_banks)
+        with pytest.raises(MemoryError_):
+            mm.bank(-1)
+
+    def test_offchip_round_trip(self, small_config, rng):
+        mm = MainMemory(small_config)
+        data = rng.integers(0, 256, 256).astype(np.uint8)
+        mm.offchip_write(1, 0, data)
+        assert np.array_equal(mm.offchip_read(1, 0, 256), data)
+
+    def test_offchip_charges_more_energy_than_internal(self, small_config):
+        mm = MainMemory(small_config)
+        data = np.zeros(1024, dtype=np.uint8)
+        mm.offchip_write(0, 0, data)
+        e_off = mm.meter.energy_j[CostCategory.MEMORY]
+        meter2 = CostMeter()
+        bank = Bank(small_config, meter=meter2)
+        bank.mem_write(0, data)
+        assert e_off > meter2.energy_j[CostCategory.MEMORY]
+
+    def test_interbank_copy(self, small_config, rng):
+        mm = MainMemory(small_config)
+        data = rng.integers(0, 256, 64).astype(np.uint8)
+        mm.bank(0).mem_write(0, data)
+        mm.interbank_copy(0, 0, 5, 128, 64)
+        assert np.array_equal(mm.bank(5).mem_read(128, 64), data)
+
+    def test_interbank_requires_distinct_banks(self, small_config):
+        mm = MainMemory(small_config)
+        with pytest.raises(MemoryError_):
+            mm.interbank_copy(2, 0, 2, 0, 8)
+
+    def test_seeded_banks_reproducible(self, small_config):
+        mm1 = MainMemory(small_config, seed=9)
+        mm2 = MainMemory(small_config, seed=9)
+        m1 = mm1.bank(0).ff_subarrays[0].mats[0]
+        m2 = mm2.bank(0).ff_subarrays[0].mats[0]
+        m1.begin_programming()
+        m2.begin_programming()
+        w = np.arange(32 * 4).reshape(32, 4) % 200 - 100
+        m1.program_weights(w)
+        m2.program_weights(w)
+        a = np.arange(32) % 64
+        assert np.array_equal(
+            m1.compute_mvm(a, with_noise=False),
+            m2.compute_mvm(a, with_noise=False),
+        )

@@ -1,0 +1,186 @@
+"""Tests for the PRIME controller and the Table I command set."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ControllerError
+from repro.memory.bank import Bank
+from repro.memory.controller import (
+    DataFlowCommand,
+    DatapathCommand,
+    InputSource,
+    MatFunction,
+    PrimeController,
+    parse_command,
+)
+from repro.memory.subarray import FFSubarrayState
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+
+
+@pytest.fixture
+def config() -> PrimeConfig:
+    return PrimeConfig(
+        crossbar=CrossbarParams(rows=32, cols=32, sense_amps=8),
+        organization=MemoryOrganization(
+            subarrays_per_bank=8,
+            mats_per_subarray=4,
+            mat_rows=32,
+            mat_cols=32,
+        ),
+    )
+
+
+@pytest.fixture
+def controller(config) -> PrimeController:
+    return PrimeController(Bank(config, rng=np.random.default_rng(0)))
+
+
+class TestCommandEncoding:
+    @pytest.mark.parametrize(
+        "cmd",
+        [
+            DatapathCommand("function", 3, 0),
+            DatapathCommand("function", 3, 1),
+            DatapathCommand("function", 3, 2),
+            DatapathCommand("bypass_sigmoid", 0, 1),
+            DatapathCommand("bypass_sa", 7, 0),
+            DatapathCommand("input_source", 2, 1),
+            DataFlowCommand("fetch", 0, 64, 128),
+            DataFlowCommand("commit", 64, 0, 128),
+            DataFlowCommand("load", 16, 3, 32),
+            DataFlowCommand("store", 3, 16, 32),
+        ],
+    )
+    def test_encode_parse_round_trip(self, cmd):
+        assert parse_command(cmd.encode()) == cmd
+
+    def test_table_i_textual_forms(self):
+        assert DatapathCommand("function", 5, 1).encode() == (
+            "prog/comp/mem [5] [1]"
+        )
+        assert DatapathCommand("bypass_sigmoid", 2, 1).encode() == (
+            "bypass sigmoid [2] [1]"
+        )
+        assert "fetch [mem 0] to [buf 64]" in DataFlowCommand(
+            "fetch", 0, 64, 8
+        ).encode()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ControllerError):
+            parse_command("reboot now")
+
+    def test_malformed_command_rejected(self):
+        with pytest.raises(ControllerError):
+            parse_command("prog/comp/mem [x] [1]")
+
+    def test_operand_validation(self):
+        with pytest.raises(ControllerError):
+            DatapathCommand("function", 0, 3)
+        with pytest.raises(ControllerError):
+            DatapathCommand("bypass_sa", 0, 2)
+        with pytest.raises(ControllerError):
+            DatapathCommand("nonsense", 0, 0)
+        with pytest.raises(ControllerError):
+            DataFlowCommand("fetch", 0, 0, 0)
+        with pytest.raises(ControllerError):
+            DataFlowCommand("teleport", 0, 0, 1)
+
+
+class TestDatapathExecution:
+    def test_function_select(self, controller):
+        controller.execute(DatapathCommand("function", 1, 1))
+        assert controller.mat_configs[1].function is MatFunction.COMP
+
+    def test_bypass_flags(self, controller):
+        controller.execute(DatapathCommand("bypass_sigmoid", 0, 1))
+        controller.execute(DatapathCommand("bypass_sa", 0, 1))
+        cfg = controller.mat_configs[0]
+        assert cfg.bypass_sigmoid and cfg.bypass_sa
+
+    def test_input_source(self, controller):
+        controller.execute(DatapathCommand("input_source", 2, 1))
+        assert (
+            controller.mat_configs[2].input_source
+            is InputSource.PREVIOUS_LAYER
+        )
+
+    def test_mat_address_bounds(self, controller):
+        n = len(controller.bank.ff_mats)
+        with pytest.raises(ControllerError):
+            controller.execute(DatapathCommand("function", n, 1))
+
+    def test_command_log(self, controller):
+        controller.execute_text("prog/comp/mem [0] [1]")
+        controller.execute_text("bypass SA [0] [1]")
+        assert len(controller.command_log) == 2
+
+
+class TestDataFlowExecution:
+    def test_fetch_load_round_trip(self, controller, rng):
+        data = rng.integers(0, 256, 64).astype(np.uint8)
+        controller.bank.mem_write(0, data)
+        controller.execute(DataFlowCommand("fetch", 0, 8, 64))
+        out = controller.execute(DataFlowCommand("load", 8, 0, 64))
+        assert np.array_equal(out, data)
+
+    def test_store_data_then_commit(self, controller, rng):
+        data = rng.integers(0, 256, 32).astype(np.uint8)
+        controller.store_data(data, 4)
+        controller.execute(DataFlowCommand("commit", 4, 256, 32))
+        assert np.array_equal(controller.bank.mem_read(256, 32), data)
+
+    def test_store_command_requires_data(self, controller):
+        with pytest.raises(ControllerError):
+            controller.execute(DataFlowCommand("store", 0, 0, 8))
+
+
+class TestMorphing:
+    def test_full_morph_cycle_preserves_memory_contents(self, controller, rng):
+        sub = controller.bank.ff_subarrays[0]
+        pattern = rng.integers(0, 2, (32, 32)).astype(np.uint8)
+        for r in range(32):
+            sub.mats[0].write_bits(r, pattern[r])
+        w = rng.integers(-255, 256, (32, 8))
+        migrated = controller.morph_to_compute(0, {0: w}, backup_offset=0)
+        assert migrated == sub.capacity_bytes
+        assert sub.state is FFSubarrayState.COMPUTE
+        # compute works
+        a = rng.integers(0, 64, 32)
+        host, _ = sub.pair(0)
+        assert host.compute_mvm(a).shape == (8,)
+        # morph back restores the stored data
+        controller.morph_to_memory(0, backup_offset=0)
+        assert sub.state is FFSubarrayState.MEMORY
+        assert np.array_equal(sub.mats[0].snapshot_bits(), pattern)
+
+    def test_morph_programs_pairs(self, controller, rng):
+        w = rng.integers(-10, 11, (32, 8))
+        controller.morph_to_compute(0, {1: w})
+        sub = controller.bank.ff_subarrays[0]
+        host, buddy = sub.pair(1)
+        assert host.engine is not None
+        assert buddy.engine is None
+        assert buddy.assignment == ("buddy", 2, 0)
+
+    def test_pair_index_bounds(self, controller, rng):
+        w = rng.integers(-10, 11, (32, 8))
+        with pytest.raises(Exception):
+            controller.morph_to_compute(0, {99: w})
+
+    def test_morph_back_requires_compute(self, controller):
+        with pytest.raises(ControllerError):
+            controller.morph_to_memory(0)
+
+    def test_ff_index_bounds(self, controller):
+        with pytest.raises(ControllerError):
+            controller.morph_to_compute(5, {})
+
+    def test_morph_charges_compute_costs(self, controller, rng):
+        from repro.memory.metering import CostCategory
+
+        before = controller.bank.meter.energy_j[CostCategory.COMPUTE]
+        controller.morph_to_compute(0, {0: rng.integers(-5, 6, (32, 4))})
+        after = controller.bank.meter.energy_j[CostCategory.COMPUTE]
+        assert after > before

@@ -1,0 +1,178 @@
+"""Tests for morphable mats and the three subarray roles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.mat import Mat, MatMode
+from repro.memory.subarray import (
+    BufferSubarray,
+    FFSubarray,
+    FFSubarrayState,
+    MemSubarray,
+    SubarrayRole,
+)
+from repro.params.crossbar import CrossbarParams
+
+
+@pytest.fixture
+def params() -> CrossbarParams:
+    return CrossbarParams(rows=32, cols=32, sense_amps=8)
+
+
+class TestMatMemoryMode:
+    def test_capacity(self, params):
+        assert Mat(params).capacity_bytes == 32 * 32 // 8
+
+    def test_write_read_bits(self, params, rng):
+        mat = Mat(params)
+        bits = rng.integers(0, 2, 32).astype(np.uint8)
+        mat.write_bits(5, bits)
+        assert np.array_equal(mat.read_bits(5), bits)
+
+    def test_snapshot_restore(self, params, rng):
+        mat = Mat(params)
+        for r in range(32):
+            mat.write_bits(r, rng.integers(0, 2, 32))
+        snap = mat.snapshot_bits()
+        mat.write_bits(0, np.zeros(32))
+        mat.restore_bits(snap)
+        assert np.array_equal(mat.snapshot_bits(), snap)
+
+    def test_row_bounds(self, params):
+        with pytest.raises(MemoryError_):
+            Mat(params).read_bits(32)
+
+
+class TestMatMorphing:
+    def test_morph_cycle(self, params, rng):
+        mat = Mat(params)
+        mat.begin_programming()
+        assert mat.mode is MatMode.PROGRAMMING
+        w = rng.integers(-255, 256, (32, 8))
+        mat.program_weights(w)
+        assert mat.mode is MatMode.COMPUTE
+        a = rng.integers(0, 64, 32)
+        out = mat.compute_mvm(a, with_noise=False)
+        assert out.shape == (8,)
+        mat.release_to_memory()
+        assert mat.mode is MatMode.MEMORY
+        assert mat.engine is None
+
+    def test_programming_phase_required(self, params, rng):
+        mat = Mat(params)
+        with pytest.raises(MemoryError_):
+            mat.program_weights(rng.integers(-5, 6, (32, 4)))
+
+    def test_compute_requires_engine(self, params):
+        mat = Mat(params)
+        with pytest.raises(MemoryError_):
+            mat.compute_mvm(np.zeros(4))
+
+    def test_memory_ops_blocked_while_programming(self, params):
+        mat = Mat(params)
+        mat.begin_programming()
+        with pytest.raises(MemoryError_):
+            mat.write_bits(0, np.zeros(32))
+        with pytest.raises(MemoryError_):
+            mat.read_bits(0)
+
+    def test_double_morph_rejected(self, params, rng):
+        mat = Mat(params)
+        mat.begin_programming()
+        mat.program_weights(rng.integers(-5, 6, (32, 4)))
+        with pytest.raises(MemoryError_):
+            mat.begin_programming()
+
+    def test_buddy_attachment(self, params):
+        mat = Mat(params)
+        mat.attach_as_buddy(4)
+        assert mat.mode is MatMode.COMPUTE
+        assert mat.engine is None
+        assert mat.assignment == ("buddy", 4, 0)
+        with pytest.raises(MemoryError_):
+            mat.attach_as_buddy(4)
+
+
+class TestMemSubarray:
+    def test_capacity_and_row_bytes(self, params):
+        sub = MemSubarray(4, params)
+        assert sub.capacity_bytes == 4 * 32 * 32 // 8
+        assert sub.row_bytes == 4
+        assert sub.role is SubarrayRole.MEM
+
+    def test_write_read(self, params, rng):
+        sub = MemSubarray(4, params)
+        data = rng.integers(0, 256, 100).astype(np.uint8)
+        sub.write(33, data)
+        assert np.array_equal(sub.read(33, 100), data)
+
+    def test_bounds(self, params):
+        sub = MemSubarray(1, params)
+        with pytest.raises(MemoryError_):
+            sub.read(0, sub.capacity_bytes + 1)
+        with pytest.raises(MemoryError_):
+            sub.write(-1, np.zeros(4, dtype=np.uint8))
+
+
+class TestBufferSubarray:
+    def test_role(self, params):
+        assert BufferSubarray(2, params).role is SubarrayRole.BUFFER
+
+    def test_bypass_register(self, params):
+        buf = BufferSubarray(2, params)
+        buf.stage_bypass(np.array([1, 2, 3], dtype=np.uint8))
+        out = buf.take_bypass()
+        assert out.tolist() == [1, 2, 3]
+        with pytest.raises(MemoryError_):
+            buf.take_bypass()  # consumed
+
+
+class TestFFSubarray:
+    def test_pairing(self, params):
+        sub = FFSubarray(8, params)
+        assert sub.pair_count == 4
+        host, buddy = sub.pair(1)
+        assert host is sub.mats[2]
+        assert buddy is sub.mats[3]
+        with pytest.raises(MemoryError_):
+            sub.pair(4)
+
+    def test_morph_protocol(self, params, rng):
+        sub = FFSubarray(4, params)
+        snapshots = sub.begin_morph_to_compute()
+        assert len(snapshots) == 4
+        assert sub.state is FFSubarrayState.MORPHING
+        host, buddy = sub.pair(0)
+        host.begin_programming()
+        host.program_weights(rng.integers(-10, 11, (32, 4)))
+        buddy.attach_as_buddy(0)
+        sub.finish_morph_to_compute()
+        assert sub.state is FFSubarrayState.COMPUTE
+        assert sub.utilization() == pytest.approx(0.5)
+        sub.morph_to_memory()
+        assert sub.state is FFSubarrayState.MEMORY
+        assert sub.utilization() == 0.0
+
+    def test_double_compute_morph_rejected(self, params):
+        sub = FFSubarray(2, params)
+        sub.begin_morph_to_compute()
+        sub.finish_morph_to_compute()
+        with pytest.raises(MemoryError_):
+            sub.begin_morph_to_compute()
+
+    def test_finish_requires_morphing(self, params):
+        sub = FFSubarray(2, params)
+        with pytest.raises(MemoryError_):
+            sub.finish_morph_to_compute()
+
+    def test_free_vs_compute_mats(self, params, rng):
+        sub = FFSubarray(4, params)
+        sub.begin_morph_to_compute()
+        host, buddy = sub.pair(0)
+        host.begin_programming()
+        host.program_weights(rng.integers(-1, 2, (4, 2)))
+        buddy.attach_as_buddy(0)
+        sub.finish_morph_to_compute()
+        assert len(sub.compute_mats) == 2
+        assert len(sub.free_mats) == 2

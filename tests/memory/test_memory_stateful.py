@@ -1,0 +1,155 @@
+"""Hypothesis stateful test: the bank behaves like a flat byte store.
+
+A :class:`RuleBasedStateMachine` issues random mem/buffer writes,
+reads, fetches, commits, and FF morph cycles against a live bank while
+mirroring the expected contents in plain Python dictionaries; any
+divergence (lost writes, aliasing across subarrays, data damaged by
+morphing) fails the run with a minimal counterexample.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.memory.bank import Bank
+from repro.memory.controller import PrimeController
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+
+_CONFIG = PrimeConfig(
+    crossbar=CrossbarParams(rows=32, cols=32, sense_amps=8),
+    organization=MemoryOrganization(
+        subarrays_per_bank=8,
+        mats_per_subarray=16,
+        mat_rows=32,
+        mat_cols=32,
+    ),
+)
+
+
+class BankMachine(RuleBasedStateMachine):
+    """Random operations against one bank + a reference model."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.bank = Bank(_CONFIG)
+        self.controller = PrimeController(self.bank)
+        self.mem_model: dict[int, int] = {}
+        self.buf_model: dict[int, int] = {}
+        self.mem_capacity = self.bank.mem_capacity_bytes
+        self.buf_capacity = self.bank.buffer.capacity_bytes
+        self.ff_in_compute = False
+
+    # -- memory ops ---------------------------------------------------
+
+    @rule(
+        offset=st.integers(0, 4000),
+        data=st.binary(min_size=1, max_size=200),
+    )
+    def mem_write(self, offset, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        self.bank.mem_write(offset, arr)
+        for i, byte in enumerate(arr):
+            self.mem_model[offset + i] = int(byte)
+
+    @rule(offset=st.integers(0, 4000), size=st.integers(1, 200))
+    def mem_read(self, offset, size):
+        out = self.bank.mem_read(offset, size)
+        expected = [
+            self.mem_model.get(offset + i, 0) for i in range(size)
+        ]
+        assert out.tolist() == expected
+
+    # -- buffer ops ----------------------------------------------------
+
+    @rule(
+        offset=st.integers(0, 1800),
+        data=st.binary(min_size=1, max_size=100),
+    )
+    def buffer_store(self, offset, data):
+        arr = np.frombuffer(data, dtype=np.uint8)
+        self.bank.store(arr, offset)
+        for i, byte in enumerate(arr):
+            self.buf_model[offset + i] = int(byte)
+
+    @rule(offset=st.integers(0, 1800), size=st.integers(1, 100))
+    def buffer_load(self, offset, size):
+        out = self.bank.load(offset, size)
+        expected = [
+            self.buf_model.get(offset + i, 0) for i in range(size)
+        ]
+        assert out.tolist() == expected
+
+    # -- cross movements ----------------------------------------------------
+
+    @rule(
+        mem_offset=st.integers(0, 2000),
+        buf_offset=st.integers(0, 1800),
+        size=st.integers(1, 64),
+    )
+    def fetch(self, mem_offset, buf_offset, size):
+        self.bank.fetch(mem_offset, buf_offset, size)
+        for i in range(size):
+            self.buf_model[buf_offset + i] = self.mem_model.get(
+                mem_offset + i, 0
+            )
+
+    @rule(
+        buf_offset=st.integers(0, 1800),
+        mem_offset=st.integers(0, 2000),
+        size=st.integers(1, 64),
+    )
+    def commit(self, buf_offset, mem_offset, size):
+        self.bank.commit(buf_offset, mem_offset, size)
+        for i in range(size):
+            self.mem_model[mem_offset + i] = self.buf_model.get(
+                buf_offset + i, 0
+            )
+
+    # -- morphing does not disturb Mem/Buffer contents ---------------------
+
+    @rule(seed=st.integers(0, 2**16))
+    def morph_cycle(self, seed):
+        if self.ff_in_compute:
+            return
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(-255, 256, (32, 8))
+        # back up FF data far away from the modelled address range
+        self.controller.morph_to_compute(
+            0, {0: weights}, backup_offset=8192
+        )
+        self.ff_in_compute = True
+        host, _ = self.bank.ff_subarrays[0].pair(0)
+        out = host.compute_mvm(
+            rng.integers(0, 64, 32), with_noise=False
+        )
+        assert out.shape == (8,)
+
+    @rule()
+    def morph_back(self):
+        if not self.ff_in_compute:
+            return
+        self.controller.morph_to_memory(0)
+        self.ff_in_compute = False
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def meter_is_monotone(self):
+        assert self.bank.meter.serial_time >= 0.0
+        assert self.bank.meter.total_energy >= 0.0
+
+
+# The morph backup region (offset 8192, 2 KB of snapshots) stays
+# disjoint from the modelled 0..4200 memory window.
+TestBankMachine = BankMachine.TestCase
+TestBankMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,82 @@
+"""Tests for cost metering."""
+
+import pytest
+
+from repro.memory.metering import CostCategory, CostMeter
+
+
+class TestCharging:
+    def test_initial_state_zero(self):
+        m = CostMeter()
+        assert m.serial_time == 0.0
+        assert m.total_energy == 0.0
+
+    def test_charge_accumulates(self):
+        m = CostMeter()
+        m.charge(CostCategory.COMPUTE, time_s=1e-6, energy_j=2e-9)
+        m.charge(CostCategory.COMPUTE, time_s=1e-6, energy_j=1e-9)
+        assert m.time_s[CostCategory.COMPUTE] == pytest.approx(2e-6)
+        assert m.energy_j[CostCategory.COMPUTE] == pytest.approx(3e-9)
+
+    def test_hidden_time_not_on_critical_path(self):
+        m = CostMeter()
+        m.charge(CostCategory.BUFFER, time_s=5e-6, energy_j=1e-9, hidden=True)
+        assert m.serial_time == 0.0
+        assert m.hidden_time_s[CostCategory.BUFFER] == pytest.approx(5e-6)
+        # hidden work still burns energy
+        assert m.total_energy == pytest.approx(1e-9)
+
+    def test_negative_rejected(self):
+        m = CostMeter()
+        with pytest.raises(ValueError):
+            m.charge(CostCategory.MEMORY, time_s=-1.0)
+        with pytest.raises(ValueError):
+            m.charge(CostCategory.MEMORY, energy_j=-1.0)
+
+    def test_serial_time_sums_categories(self):
+        m = CostMeter()
+        m.charge(CostCategory.COMPUTE, time_s=1.0)
+        m.charge(CostCategory.MEMORY, time_s=2.0)
+        assert m.serial_time == pytest.approx(3.0)
+
+
+class TestCombinators:
+    def test_merge(self):
+        a = CostMeter()
+        b = CostMeter()
+        a.charge(CostCategory.COMPUTE, time_s=1.0, energy_j=1.0)
+        b.charge(CostCategory.COMPUTE, time_s=2.0, energy_j=3.0)
+        b.charge(CostCategory.MEMORY, time_s=1.0, hidden=False)
+        a.merge(b)
+        assert a.time_s[CostCategory.COMPUTE] == pytest.approx(3.0)
+        assert a.energy_j[CostCategory.COMPUTE] == pytest.approx(4.0)
+        assert a.time_s[CostCategory.MEMORY] == pytest.approx(1.0)
+
+    def test_scaled(self):
+        m = CostMeter()
+        m.charge(CostCategory.BUFFER, time_s=1.0, energy_j=2.0)
+        s = m.scaled(10.0)
+        assert s.time_s[CostCategory.BUFFER] == pytest.approx(10.0)
+        assert s.energy_j[CostCategory.BUFFER] == pytest.approx(20.0)
+        # original untouched
+        assert m.time_s[CostCategory.BUFFER] == pytest.approx(1.0)
+
+    def test_reset(self):
+        m = CostMeter()
+        m.charge(CostCategory.COMPUTE, time_s=1.0, energy_j=1.0)
+        m.charge(CostCategory.BUFFER, time_s=1.0, hidden=True)
+        m.reset()
+        assert m.serial_time == 0.0
+        assert m.total_energy == 0.0
+        assert m.hidden_time_s[CostCategory.BUFFER] == 0.0
+
+    def test_breakdowns(self):
+        m = CostMeter()
+        m.charge(CostCategory.COMPUTE, time_s=1.0, energy_j=4.0)
+        m.charge(CostCategory.MEMORY, time_s=3.0, energy_j=1.0)
+        assert m.time_breakdown() == {
+            "compute": 1.0,
+            "buffer": 0.0,
+            "memory": 3.0,
+        }
+        assert m.energy_breakdown()["compute"] == pytest.approx(4.0)

@@ -1,0 +1,159 @@
+"""Tests for the OS runtime support (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory.bank import Bank
+from repro.memory.os_support import (
+    FFAllocator,
+    FFAllocatorPolicy,
+    PageMissTracker,
+)
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+
+
+@pytest.fixture
+def bank() -> Bank:
+    config = PrimeConfig(
+        crossbar=CrossbarParams(rows=32, cols=32, sense_amps=8),
+        organization=MemoryOrganization(
+            subarrays_per_bank=8,
+            mats_per_subarray=4,
+            mat_rows=32,
+            mat_cols=32,
+        ),
+    )
+    return Bank(config)
+
+
+class TestPageMissTracker:
+    def test_cold_misses(self):
+        t = PageMissTracker(capacity_pages=4)
+        assert t.access(1) is True
+        assert t.access(1) is False
+
+    def test_lru_eviction(self):
+        t = PageMissTracker(capacity_pages=2)
+        t.access(1)
+        t.access(2)
+        t.access(3)  # evicts 1
+        assert t.access(1) is True
+        assert t.access(3) is False
+
+    def test_miss_rate_window(self):
+        t = PageMissTracker(capacity_pages=100, window=10)
+        for p in range(10):
+            t.access(p)  # all misses
+        assert t.miss_rate == 1.0
+        for _ in range(2):
+            for p in range(10):
+                t.access(p)  # all hits now
+        assert t.miss_rate == 0.0
+
+    def test_working_set_larger_than_capacity_thrashes(self):
+        t = PageMissTracker(capacity_pages=4, window=100)
+        for _ in range(10):
+            for p in range(8):
+                t.access(p)
+        assert t.miss_rate > 0.8
+
+    def test_resize_shrinks_lru(self):
+        t = PageMissTracker(capacity_pages=8)
+        for p in range(8):
+            t.access(p)
+        t.resize(2)
+        assert t.access(0) is True  # evicted by the shrink
+
+    def test_empty_miss_rate(self):
+        assert PageMissTracker(4).miss_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(MemoryError_):
+            PageMissTracker(0)
+        with pytest.raises(MemoryError_):
+            PageMissTracker(4, window=0)
+        with pytest.raises(MemoryError_):
+            PageMissTracker(4).resize(0)
+
+
+class TestFFAllocator:
+    def test_initially_all_reserved(self, bank):
+        tracker = PageMissTracker(capacity_pages=16)
+        alloc = FFAllocator(bank, tracker)
+        assert alloc.released_mats == 0
+        assert len(alloc.reserved) == len(bank.ff_mats)
+
+    def test_release_under_memory_pressure(self, bank):
+        tracker = PageMissTracker(capacity_pages=2, window=20)
+        alloc = FFAllocator(bank, tracker)
+        # Thrash: working set of 10 pages against 2-page capacity.
+        for _ in range(5):
+            for p in range(10):
+                tracker.access(p)
+        assert tracker.miss_rate > FFAllocatorPolicy().release_miss_rate
+        released = alloc.step()
+        assert released == len(bank.ff_mats)  # none were computing
+        assert alloc.released_mats == released
+        # The page budget grew accordingly.
+        assert tracker.capacity_pages > 2
+
+    def test_computing_mats_never_released(self, bank, rng):
+        from repro.memory.controller import PrimeController
+
+        controller = PrimeController(bank)
+        controller.morph_to_compute(
+            0, {0: rng.integers(-5, 6, (32, 4))}
+        )
+        tracker = PageMissTracker(capacity_pages=2, window=20)
+        alloc = FFAllocator(bank, tracker)
+        for _ in range(5):
+            for p in range(10):
+                tracker.access(p)
+        alloc.step()
+        # the programmed pair (host + buddy) stays reserved
+        assert alloc.released_mats == len(bank.ff_mats) - 2
+        assert alloc.compute_utilization() == pytest.approx(2 / 8)
+
+    def test_reclaim_when_pressure_subsides(self, bank):
+        tracker = PageMissTracker(capacity_pages=2, window=20)
+        alloc = FFAllocator(bank, tracker)
+        for _ in range(5):
+            for p in range(10):
+                tracker.access(p)
+        alloc.step()
+        assert alloc.released_mats > 0
+        # now a tiny working set: all hits
+        for _ in range(30):
+            tracker.access(0)
+        assert tracker.miss_rate < FFAllocatorPolicy().reclaim_miss_rate
+        reclaimed = alloc.step()
+        assert reclaimed < 0
+        assert alloc.released_mats == 0
+
+    def test_pages_per_mat(self, bank):
+        tracker = PageMissTracker(16)
+        alloc = FFAllocator(bank, tracker, page_bytes=64)
+        assert alloc.pages_per_mat == (32 * 32 // 8) // 64
+
+    def test_page_size_validation(self, bank):
+        with pytest.raises(MemoryError_):
+            FFAllocator(bank, PageMissTracker(4), page_bytes=0)
+
+    def test_no_action_in_hysteresis_band(self, bank):
+        tracker = PageMissTracker(capacity_pages=50, window=100)
+        alloc = FFAllocator(
+            bank,
+            tracker,
+            policy=FFAllocatorPolicy(
+                release_miss_rate=0.5, reclaim_miss_rate=0.001
+            ),
+        )
+        for _ in range(2):
+            for p in range(30):
+                tracker.access(p)
+        rate = tracker.miss_rate
+        assert rate == pytest.approx(0.5)  # second pass all hits
+        assert alloc.step() == 0

@@ -1,0 +1,160 @@
+"""Tests for losses, the Sequential container, and SGD training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import CrossEntropyLoss, MeanSquaredErrorLoss
+from repro.nn.network import Sequential
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        labels = np.array([0, 1])
+        assert loss.forward(logits, labels) < 1e-4
+
+    def test_uniform_prediction(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((3, 4))
+        labels = np.array([0, 1, 2])
+        assert loss.forward(logits, labels) == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 0, 4])
+        grad = loss.backward(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                logits[i, j] += eps
+                up = loss.forward(logits, labels)
+                logits[i, j] -= 2 * eps
+                dn = loss.forward(logits, labels)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx(
+                    (up - dn) / (2 * eps), abs=1e-5
+                )
+
+    def test_shape_validation(self):
+        with pytest.raises(WorkloadError):
+            CrossEntropyLoss().forward(np.zeros(4), np.zeros(4, dtype=int))
+
+    def test_numerical_stability_large_logits(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[1e4, -1e4]])
+        value = loss.forward(logits, np.array([0]))
+        assert np.isfinite(value) and value < 1e-6
+
+
+class TestMSE:
+    def test_zero_on_match(self):
+        loss = MeanSquaredErrorLoss()
+        x = np.array([[1.0, 2.0]])
+        assert loss.forward(x, x) == 0.0
+
+    def test_gradient(self, rng):
+        loss = MeanSquaredErrorLoss()
+        out = rng.standard_normal((2, 3))
+        tgt = rng.standard_normal((2, 3))
+        grad = loss.backward(out, tgt)
+        assert np.allclose(grad, 2 * (out - tgt) / out.size)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            MeanSquaredErrorLoss().forward(np.zeros(3), np.zeros(4))
+
+
+class TestSequential:
+    def test_forward_composition(self, rng):
+        net = Sequential([Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+        x = rng.standard_normal((3, 4))
+        out = net.forward(x)
+        assert out.shape == (3, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Sequential([])
+
+    def test_predict_argmax(self, rng):
+        net = Sequential([Dense(4, 3, rng=rng)])
+        x = rng.standard_normal((5, 4))
+        assert np.array_equal(
+            net.predict(x), np.argmax(net.forward(x), axis=1)
+        )
+
+    def test_weight_round_trip(self, rng):
+        net = Sequential([Dense(4, 4, rng=rng), Sigmoid(), Dense(4, 2, rng=rng)])
+        weights = net.get_weights()
+        for layer in net.layers:
+            for p in layer.params():
+                p += 1.0
+        net.set_weights(weights)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(net.get_weights(), weights)
+        )
+
+    def test_set_weights_validation(self, rng):
+        net = Sequential([Dense(4, 2, rng=rng)])
+        with pytest.raises(WorkloadError):
+            net.set_weights([np.zeros((4, 2))])  # missing bias
+        with pytest.raises(WorkloadError):
+            net.set_weights([np.zeros((3, 2)), np.zeros(2)])
+
+    def test_npz_round_trip(self, rng, tmp_path):
+        net = Sequential([Dense(4, 3, rng=rng)])
+        path = str(tmp_path / "weights.npz")
+        net.save_npz(path)
+        original = net.get_weights()
+        net.layers[0].weight += 5.0
+        net.load_npz(path)
+        assert np.allclose(net.get_weights()[0], original[0])
+
+
+class TestTraining:
+    def test_loss_decreases_on_separable_data(self, rng):
+        # Two Gaussian blobs, trivially separable.
+        n = 200
+        x = np.vstack(
+            [
+                rng.standard_normal((n, 2)) + 3.0,
+                rng.standard_normal((n, 2)) - 3.0,
+            ]
+        )
+        y = np.array([0] * n + [1] * n)
+        net = Sequential([Dense(2, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+        result = net.train_sgd(
+            x, y, epochs=5, batch_size=16, learning_rate=0.05, rng=rng
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert result.final_accuracy > 0.95
+
+    def test_validation_accuracy_tracked(self, rng):
+        x = rng.standard_normal((64, 4))
+        y = (x[:, 0] > 0).astype(int)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        result = net.train_sgd(
+            x, y, epochs=3, batch_size=8, val_x=x, val_labels=y, rng=rng
+        )
+        assert len(result.accuracies) == 3
+        assert len(result.losses) == 3
+
+    def test_empty_history_raises(self):
+        from repro.nn.network import TrainingResult
+
+        with pytest.raises(WorkloadError):
+            TrainingResult().final_accuracy
+
+    def test_parameter_validation(self, rng):
+        net = Sequential([Dense(2, 2, rng=rng)])
+        with pytest.raises(WorkloadError):
+            net.train_sgd(np.zeros((4, 2)), np.zeros(4, dtype=int), epochs=0)
+
+    def test_digit_mlp_learns(self, trained_tiny_mlp, tiny_digit_data):
+        _, net = trained_tiny_mlp
+        _, _, x_test, y_test = tiny_digit_data
+        assert net.accuracy(x_test, y_test) > 0.85

@@ -1,0 +1,171 @@
+"""Tests for the SNN extension (ANN→SNN conversion + LIF dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn.layers import Conv2D, Dense, ReLU
+from repro.nn.network import Sequential
+from repro.nn.snn import LIFLayer, SpikingNetwork
+
+
+class TestLIFDynamics:
+    def test_integrates_to_threshold(self):
+        lif = LIFLayer(neurons=1, threshold=1.0)
+        state = lif.init_state(batch=1)
+        current = np.array([[0.4]])
+        assert lif.step(state, current)[0, 0] == 0.0  # V=0.4
+        assert lif.step(state, current)[0, 0] == 0.0  # V=0.8
+        assert lif.step(state, current)[0, 0] == 1.0  # V=1.2 → spike
+
+    def test_soft_reset_preserves_residual(self):
+        lif = LIFLayer(neurons=1, threshold=1.0)
+        state = lif.init_state(1)
+        lif.step(state, np.array([[1.3]]))
+        # soft reset: 1.3 - 1.0 = 0.3 residual carries over
+        assert state.potential[0, 0] == pytest.approx(0.3)
+
+    def test_leak_decays_potential(self):
+        lif = LIFLayer(neurons=1, threshold=10.0, leak=0.5)
+        state = lif.init_state(1)
+        lif.step(state, np.array([[1.0]]))
+        lif.step(state, np.array([[0.0]]))
+        assert state.potential[0, 0] == pytest.approx(0.5)
+
+    def test_firing_rate_tracks_input_current(self):
+        lif = LIFLayer(neurons=1, threshold=1.0)
+        state = lif.init_state(1)
+        rate_in = 0.37
+        spikes = sum(
+            lif.step(state, np.array([[rate_in]]))[0, 0]
+            for _ in range(1000)
+        )
+        assert spikes / 1000 == pytest.approx(rate_in, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            LIFLayer(0)
+        with pytest.raises(WorkloadError):
+            LIFLayer(1, threshold=0.0)
+        with pytest.raises(WorkloadError):
+            LIFLayer(1, leak=0.0)
+        lif = LIFLayer(2)
+        with pytest.raises(WorkloadError):
+            lif.step(lif.init_state(1), np.zeros((1, 3)))
+
+
+@pytest.fixture(scope="module")
+def converted(trained_tiny_mlp, tiny_digit_data):
+    topology, net = trained_tiny_mlp
+    x_train = tiny_digit_data[0]
+    snn = SpikingNetwork.from_ann(net, x_train[:300])
+    return snn, net
+
+
+class TestConversion:
+    def test_layer_count(self, converted):
+        snn, net = converted
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        assert len(snn.layers) == len(dense)
+
+    def test_rejects_conv(self):
+        rng = np.random.default_rng(0)
+        net = Sequential([Conv2D(1, 2, 3, rng=rng)])
+        with pytest.raises(WorkloadError):
+            SpikingNetwork.from_ann(net, np.zeros((4, 25)))
+
+    def test_rejects_no_dense(self):
+        with pytest.raises(WorkloadError):
+            SpikingNetwork.from_ann(
+                Sequential([ReLU()]), np.zeros((4, 8))
+            )
+
+    def test_weight_scaling_applied(self, converted, trained_tiny_mlp):
+        snn, _ = converted
+        _, net = trained_tiny_mlp
+        first_dense = next(
+            l for l in net.layers if isinstance(l, Dense)
+        )
+        # converted weights differ from the ANN's by the scale factors
+        assert not np.allclose(snn.layers[0].weight, first_dense.weight)
+
+
+class TestRateCodedInference:
+    def test_accuracy_close_to_ann(
+        self, converted, tiny_digit_data
+    ):
+        snn, net = converted
+        _, _, x_test, y_test = tiny_digit_data
+        ann_acc = net.accuracy(x_test[:120], y_test[:120])
+        snn_acc = snn.accuracy(
+            x_test[:120],
+            y_test[:120],
+            timesteps=96,
+            rng=np.random.default_rng(3),
+        )
+        assert snn_acc >= ann_acc - 0.12
+
+    def test_more_timesteps_do_not_hurt(self, converted, tiny_digit_data):
+        snn, _ = converted
+        _, _, x_test, y_test = tiny_digit_data
+        short = snn.accuracy(
+            x_test[:100], y_test[:100], timesteps=8,
+            rng=np.random.default_rng(4),
+        )
+        long = snn.accuracy(
+            x_test[:100], y_test[:100], timesteps=128,
+            rng=np.random.default_rng(4),
+        )
+        assert long >= short - 0.03
+
+    def test_rates_bounded(self, converted, tiny_digit_data):
+        snn, _ = converted
+        _, _, x_test, _ = tiny_digit_data
+        result = snn.run(
+            x_test[:10], timesteps=32, rng=np.random.default_rng(5)
+        )
+        assert result.rates.min() >= 0.0
+        assert result.rates.max() <= 1.0
+
+    def test_input_range_enforced(self, converted):
+        snn, _ = converted
+        with pytest.raises(WorkloadError):
+            snn.run(np.full((1, 784), 2.0))
+
+    def test_backend_and_timestep_validation(self, converted):
+        snn, _ = converted
+        with pytest.raises(WorkloadError):
+            snn.run(np.zeros((1, 784)), timesteps=0)
+        with pytest.raises(WorkloadError):
+            snn.run(np.zeros((1, 784)), backend="quantum")
+
+
+class TestCrossbarBackend:
+    def test_requires_programming(self, converted):
+        snn, _ = converted
+        with pytest.raises(WorkloadError):
+            snn.run(np.zeros((1, 784)), backend="crossbar")
+
+    def test_crossbar_close_to_digital(
+        self, converted, tiny_digit_data
+    ):
+        snn, _ = converted
+        _, _, x_test, y_test = tiny_digit_data
+        snn.program_crossbars()
+        digital = snn.accuracy(
+            x_test[:80], y_test[:80], timesteps=64,
+            rng=np.random.default_rng(6),
+        )
+        crossbar = snn.accuracy(
+            x_test[:80], y_test[:80], timesteps=64,
+            rng=np.random.default_rng(6), backend="crossbar",
+        )
+        assert crossbar >= digital - 0.12
+
+    def test_binary_spikes_fit_one_drive_phase(self, converted):
+        # SNN inputs are 0/1 codes — well inside the 3-bit drivers.
+        snn, _ = converted
+        snn.program_crossbars()
+        assert snn.layers[0].programmed
+        engine = snn.layers[0].tiles[0][0]
+        assert 1 < engine.params.input_levels

@@ -1,0 +1,205 @@
+"""Tests for the Table III topology grammar and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.nn.datasets import synthetic_images, synthetic_mnist
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.topology import (
+    ConvSpec,
+    DenseSpec,
+    PoolSpec,
+    parse_topology,
+)
+
+
+class TestMlpParsing:
+    def test_mlp_s(self):
+        top = parse_topology("MLP-S", "784-500-250-10")
+        assert top.input_shape == (784,)
+        assert [s.units for s in top.specs] == [500, 250, 10]
+        assert top.total_synapses == 784 * 500 + 500 * 250 + 250 * 10
+
+    def test_mlp_macs_equal_synapses(self):
+        top = parse_topology("MLP-M", "784-1000-500-250-10")
+        assert top.total_macs == top.total_synapses
+
+    def test_output_shape(self):
+        top = parse_topology("MLP-L", "784-1500-1000-500-10")
+        assert top.output_shape == (10,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_topology("x", "")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_topology("x", "784-abc-10")
+
+
+class TestCnnParsing:
+    def test_cnn1_shapes(self):
+        top = parse_topology(
+            "CNN-1", "conv5x5-pool-720-70-10", input_shape=(28, 28, 1)
+        )
+        shapes = [info.output_shape for info in top.layers]
+        assert shapes == [(24, 24, 5), (12, 12, 5), (70,), (10,)]
+
+    def test_cnn1_flatten_marker_consumed(self):
+        # The 720 token is the flatten size (12*12*5), not a layer.
+        top = parse_topology(
+            "CNN-1", "conv5x5-pool-720-70-10", input_shape=(28, 28, 1)
+        )
+        dense_units = [
+            s.units for s in top.specs if isinstance(s, DenseSpec)
+        ]
+        assert dense_units == [70, 10]
+
+    def test_cnn2_shapes(self):
+        top = parse_topology(
+            "CNN-2", "conv7x10-pool-1210-120-10", input_shape=(28, 28, 1)
+        )
+        assert top.layers[0].output_shape == (22, 22, 10)
+        assert top.layers[1].output_shape == (11, 11, 10)
+
+    def test_conv_requires_input_shape(self):
+        with pytest.raises(WorkloadError):
+            parse_topology("x", "conv3x4-pool-10")
+
+    def test_bad_conv_token(self):
+        with pytest.raises(WorkloadError):
+            parse_topology("x", "conv5-10", input_shape=(28, 28, 1))
+
+    def test_kernel_too_large(self):
+        with pytest.raises(WorkloadError):
+            parse_topology("x", "conv30x2-10", input_shape=(28, 28, 1))
+
+    def test_same_padding(self):
+        top = parse_topology(
+            "x", "conv3x4-pool-10", input_shape=(28, 28, 1),
+            conv_padding="same",
+        )
+        assert top.layers[0].output_shape == (28, 28, 4)
+
+    def test_conv_spec_padding_pixels(self):
+        assert ConvSpec(3, 4, "same").pad_pixels() == 1
+        assert ConvSpec(5, 4, "same").pad_pixels() == 2
+        assert ConvSpec(5, 4, "valid").pad_pixels() == 0
+        with pytest.raises(WorkloadError):
+            ConvSpec(3, 4, "weird").pad_pixels()
+
+
+class TestVggD:
+    @pytest.fixture(scope="class")
+    def vgg(self):
+        from repro.eval.workloads import get_workload
+
+        return get_workload("VGG-D").topology()
+
+    def test_16_weight_layers(self, vgg):
+        weighted = [
+            s for s in vgg.specs if isinstance(s, (ConvSpec, DenseSpec))
+        ]
+        assert len(weighted) == 16
+
+    def test_synapse_count_1_4e8(self, vgg):
+        assert vgg.total_synapses == pytest.approx(1.4e8, rel=0.02)
+
+    def test_ops_1_6e10(self, vgg):
+        # The paper quotes ~1.6e10 operations (MAC + pooling work).
+        assert vgg.total_macs == pytest.approx(1.55e10, rel=0.05)
+
+    def test_flatten_is_25088(self, vgg):
+        # 512 maps × 7×7 after five 2× pools of a 224×224 input.
+        conv_part = [
+            info
+            for info in vgg.layers
+            if isinstance(info.spec, (ConvSpec, PoolSpec))
+        ]
+        h, w, c = conv_part[-1].output_shape
+        assert h * w * c == 25088
+
+
+class TestBuild:
+    def test_mlp_build_layers(self):
+        top = parse_topology("MLP-S", "784-500-250-10")
+        net = top.build()
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        assert [d.weight.shape for d in dense] == [
+            (784, 500),
+            (500, 250),
+            (250, 10),
+        ]
+        # hidden activations are sigmoid; the output layer is linear
+        from repro.nn.layers import Sigmoid
+
+        assert sum(isinstance(l, Sigmoid) for l in net.layers) == 2
+
+    def test_cnn_build_layers(self):
+        top = parse_topology(
+            "CNN-1", "conv5x5-pool-720-70-10", input_shape=(28, 28, 1)
+        )
+        net = top.build()
+        kinds = [type(l).__name__ for l in net.layers]
+        assert "Conv2D" in kinds
+        assert "MaxPool2D" in kinds
+        assert "Flatten" in kinds
+        out = net.forward(np.zeros((2, 28, 28, 1)))
+        assert out.shape == (2, 10)
+
+    def test_build_respects_activation_override(self):
+        from repro.nn.layers import ReLU
+
+        top = parse_topology("MLP-S", "784-500-250-10")
+        net = top.build(hidden_activation="relu")
+        assert any(isinstance(l, ReLU) for l in net.layers)
+
+
+class TestSyntheticMnist:
+    def test_shapes_and_ranges(self):
+        x, y = synthetic_mnist(20, seed=0)
+        assert x.shape == (20, 28, 28, 1)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+        assert y.shape == (20,)
+        assert set(np.unique(y)).issubset(set(range(10)))
+
+    def test_flat_layout(self):
+        x, y = synthetic_mnist(5, flat=True)
+        assert x.shape == (5, 784)
+
+    def test_deterministic_by_seed(self):
+        x1, y1 = synthetic_mnist(10, seed=3)
+        x2, y2 = synthetic_mnist(10, seed=3)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        x1, _ = synthetic_mnist(10, seed=1)
+        x2, _ = synthetic_mnist(10, seed=2)
+        assert not np.array_equal(x1, x2)
+
+    def test_digits_are_distinguishable(self):
+        # Mean image per class should differ between classes.
+        x, y = synthetic_mnist(500, noise=0.0, seed=5, flat=True)
+        means = [x[y == d].mean(axis=0) for d in range(10)]
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.abs(means[a] - means[b]).sum() > 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            synthetic_mnist(0)
+        with pytest.raises(WorkloadError):
+            synthetic_mnist(5, size=8)
+
+
+class TestSyntheticImages:
+    def test_shape(self):
+        imgs = synthetic_images(3, shape=(8, 8, 3))
+        assert imgs.shape == (3, 8, 8, 3)
+        assert imgs.min() >= 0.0 and imgs.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            synthetic_images(0)

@@ -1,0 +1,86 @@
+"""Tests for the circuit-level area model and the §V-D trade-off."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.circuits import (
+    CircuitAreas,
+    DEFAULT_CIRCUIT_AREAS,
+    peak_gops_per_bank,
+    sweep_ff_subarrays,
+)
+
+
+class TestCircuitAreas:
+    def test_fig12_fractions_emerge_from_components(self):
+        fractions = DEFAULT_CIRCUIT_AREAS.overhead_fractions()
+        assert fractions["driver"] == pytest.approx(0.23, abs=0.005)
+        assert fractions["subtraction+sigmoid"] == pytest.approx(
+            0.29, abs=0.005
+        )
+        assert fractions["control/mux/etc"] == pytest.approx(
+            0.08, abs=0.005
+        )
+
+    def test_ff_mat_overhead_60_percent(self):
+        assert DEFAULT_CIRCUIT_AREAS.ff_mat_overhead == pytest.approx(
+            0.60, abs=0.005
+        )
+
+    def test_ff_mat_equals_memory_plus_additions(self):
+        a = DEFAULT_CIRCUIT_AREAS
+        assert a.ff_mat == pytest.approx(
+            a.memory_mat + a.prime_additions
+        )
+
+    def test_positive_areas_required(self):
+        with pytest.raises(ConfigurationError):
+            CircuitAreas(cell_array=0.0)
+
+
+class TestPeakGops:
+    def test_scales_linearly_with_subarrays(self):
+        one = peak_gops_per_bank(1)
+        four = peak_gops_per_bank(4)
+        assert four == pytest.approx(4 * one)
+
+    def test_paper_configuration_is_crossbar_class(self):
+        # 2 FF subarrays: hundreds of GOPS to tens of TOPS per bank —
+        # the in-memory compute density argument.
+        gops = peak_gops_per_bank(2)
+        assert 1_000 < gops < 100_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            peak_gops_per_bank(0)
+
+
+class TestTradeoffSweep:
+    def test_default_sweep(self):
+        points = sweep_ff_subarrays()
+        assert [p.ff_subarrays_per_bank for p in points] == [1, 2, 4, 8, 16]
+
+    def test_gops_and_overhead_both_grow(self):
+        points = sweep_ff_subarrays()
+        gops = [p.peak_gops for p in points]
+        overheads = [p.area_overhead for p in points]
+        assert gops == sorted(gops)
+        assert overheads == sorted(overheads)
+
+    def test_paper_point_matches_5_76(self):
+        points = sweep_ff_subarrays()
+        paper = next(p for p in points if p.ff_subarrays_per_bank == 2)
+        assert paper.area_overhead == pytest.approx(0.0576, abs=0.001)
+
+    def test_diminishing_efficiency(self):
+        # GOPS-per-overhead keeps improving as the fixed cost
+        # amortises, but with visibly diminishing returns per doubling.
+        points = sweep_ff_subarrays()
+        eff = [p.gops_per_overhead for p in points]
+        gain_early = eff[1] / eff[0]
+        gain_late = eff[-1] / eff[-2]
+        assert gain_late < gain_early
+
+    def test_too_many_ff_subarrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_ff_subarrays(counts=(64,))

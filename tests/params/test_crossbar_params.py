@@ -1,0 +1,101 @@
+"""Tests for the FF-mat compute parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.params.reram import ReRAMDeviceParams
+
+
+class TestPaperAssumptions:
+    def test_geometry(self):
+        assert DEFAULT_CROSSBAR.rows == 256
+        assert DEFAULT_CROSSBAR.cols == 256
+
+    def test_input_precision_3bit_8_levels(self):
+        assert DEFAULT_CROSSBAR.input_bits == 3
+        assert DEFAULT_CROSSBAR.input_levels == 8
+
+    def test_cell_precision_4bit(self):
+        assert DEFAULT_CROSSBAR.cell_bits == 4
+
+    def test_output_precision_6bit(self):
+        assert DEFAULT_CROSSBAR.output_bits == 6
+
+    def test_eight_sense_amps(self):
+        assert DEFAULT_CROSSBAR.sense_amps == 8
+
+    def test_composed_precisions(self):
+        # 2×3-bit inputs → 6-bit, 2×4-bit cells → 8-bit weights.
+        assert DEFAULT_CROSSBAR.effective_input_bits == 6
+        assert DEFAULT_CROSSBAR.effective_weight_bits == 8
+
+
+class TestDerivedQuantities:
+    def test_logical_cols_halved_by_composing(self):
+        assert DEFAULT_CROSSBAR.logical_cols == 128
+
+    def test_three_phases_with_full_composing(self):
+        # HH, HL, LH contribute output bits; LL falls below the window.
+        assert DEFAULT_CROSSBAR.mvm_phases == 3
+
+    def test_phase_count_without_composing(self):
+        p = CrossbarParams(compose_inputs=False, compose_weights=False)
+        assert p.mvm_phases == 1
+        assert p.logical_cols == 256
+
+    def test_sa_batches(self):
+        assert DEFAULT_CROSSBAR.sa_batches == 32
+
+    def test_full_mvm_latency_positive_and_scales_with_phases(self):
+        composed = DEFAULT_CROSSBAR
+        plain = CrossbarParams(compose_inputs=False, compose_weights=False)
+        assert composed.t_full_mvm == pytest.approx(
+            3 * plain.t_full_mvm
+        )
+
+    def test_macs_per_mvm(self):
+        assert DEFAULT_CROSSBAR.macs_per_mvm == 256 * 128
+
+
+class TestActiveEnergyScaling:
+    def test_full_activity_matches_e_full(self):
+        assert DEFAULT_CROSSBAR.e_mvm_active(1.0, 1.0) == pytest.approx(
+            DEFAULT_CROSSBAR.e_full_mvm
+        )
+
+    def test_partial_activity_cheaper(self):
+        assert (
+            DEFAULT_CROSSBAR.e_mvm_active(0.1, 0.1)
+            < DEFAULT_CROSSBAR.e_full_mvm / 4
+        )
+
+    def test_monotonic_in_both_fractions(self):
+        e_low = DEFAULT_CROSSBAR.e_mvm_active(0.2, 0.5)
+        e_rows = DEFAULT_CROSSBAR.e_mvm_active(0.4, 0.5)
+        e_cols = DEFAULT_CROSSBAR.e_mvm_active(0.2, 0.9)
+        assert e_rows > e_low
+        assert e_cols > e_low
+
+    def test_fractions_clamped(self):
+        assert DEFAULT_CROSSBAR.e_mvm_active(2.0, 5.0) == pytest.approx(
+            DEFAULT_CROSSBAR.e_full_mvm
+        )
+        assert DEFAULT_CROSSBAR.e_mvm_active(-1.0, -1.0) == 0.0
+
+
+class TestValidation:
+    def test_sense_amps_must_divide_cols(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarParams(cols=250, sense_amps=8)
+
+    def test_cell_bits_must_match_device(self):
+        device = ReRAMDeviceParams(mlc_bits=2)
+        with pytest.raises(ConfigurationError):
+            CrossbarParams(cell_bits=4, device=device)
+        ok = CrossbarParams(cell_bits=2, device=device)
+        assert ok.effective_weight_bits == 4
+
+    def test_positive_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarParams(rows=0)

@@ -1,0 +1,87 @@
+"""Tests for the Table IV memory organisation and timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.memory import (
+    DEFAULT_ORGANIZATION,
+    DEFAULT_TIMING,
+    MemoryOrganization,
+    MemoryTiming,
+)
+from repro.units import GB, ns
+
+
+class TestTableIVTiming:
+    def test_timing_row(self):
+        assert DEFAULT_TIMING.t_rcd == pytest.approx(22.5 * ns)
+        assert DEFAULT_TIMING.t_cl == pytest.approx(9.8 * ns)
+        assert DEFAULT_TIMING.t_rp == pytest.approx(0.5 * ns)
+        assert DEFAULT_TIMING.t_wr == pytest.approx(41.4 * ns)
+
+    def test_io_clock(self):
+        assert DEFAULT_TIMING.io_clock_hz == pytest.approx(533e6)
+
+    def test_row_read_latency(self):
+        assert DEFAULT_TIMING.row_read_latency == pytest.approx(32.3 * ns)
+
+    def test_write_slower_than_read(self):
+        # ReRAM writes are several times slower than reads.
+        assert (
+            DEFAULT_TIMING.row_write_latency
+            > DEFAULT_TIMING.row_read_latency
+        )
+
+    def test_row_cycle_sums_components(self):
+        t = DEFAULT_TIMING
+        assert t.row_cycle == pytest.approx(t.t_rcd + t.t_cl + t.t_rp)
+
+    def test_ddr_bus_bandwidth(self):
+        # 533 MHz DDR × 8 bytes = ~8.5 GB/s.
+        assert DEFAULT_TIMING.io_bus_bandwidth() == pytest.approx(8.528e9)
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryTiming(t_rcd=-1.0)
+
+
+class TestTableIVOrganization:
+    def test_capacity(self):
+        assert DEFAULT_ORGANIZATION.capacity_bytes == 16 * GB
+
+    def test_chips_and_banks(self):
+        assert DEFAULT_ORGANIZATION.chips_per_rank == 8
+        assert DEFAULT_ORGANIZATION.banks_per_chip == 8
+        assert DEFAULT_ORGANIZATION.total_banks == 64
+
+    def test_subarray_roles_fit(self):
+        org = DEFAULT_ORGANIZATION
+        assert (
+            org.ff_subarrays_per_bank + org.buffer_subarrays_per_bank
+            < org.subarrays_per_bank
+        )
+
+    def test_mat_geometry(self):
+        assert DEFAULT_ORGANIZATION.mat_rows == 256
+        assert DEFAULT_ORGANIZATION.mat_cols == 256
+        assert DEFAULT_ORGANIZATION.mat_bits == 65536
+
+    def test_ff_mats_per_bank(self):
+        org = DEFAULT_ORGANIZATION
+        assert org.ff_mats_per_bank == (
+            org.ff_subarrays_per_bank * org.mats_per_subarray
+        )
+
+    def test_role_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryOrganization(
+                subarrays_per_bank=2,
+                ff_subarrays_per_bank=2,
+                buffer_subarrays_per_bank=1,
+            )
+
+    def test_positive_fields_required(self):
+        with pytest.raises(ConfigurationError):
+            MemoryOrganization(mats_per_subarray=0)
+        with pytest.raises(ConfigurationError):
+            MemoryOrganization(capacity_bytes=0)

@@ -1,0 +1,92 @@
+"""Tests for the ReRAM device parameter model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.reram import PT_TIO2_DEVICE, ReRAMDeviceParams
+from repro.units import kohm
+
+
+class TestDefaults:
+    def test_paper_resistances(self):
+        assert PT_TIO2_DEVICE.r_on == pytest.approx(1.0 * kohm)
+        assert PT_TIO2_DEVICE.r_off == pytest.approx(20.0 * kohm)
+
+    def test_paper_programming_voltage(self):
+        assert PT_TIO2_DEVICE.v_set == pytest.approx(2.0)
+        assert PT_TIO2_DEVICE.v_reset == pytest.approx(2.0)
+
+    def test_mlc_bits_match_practical_assumption(self):
+        assert PT_TIO2_DEVICE.mlc_bits == 4
+        assert PT_TIO2_DEVICE.mlc_levels == 16
+
+    def test_endurance_is_reram_class(self):
+        # ReRAM endurance ~1e12, far above PCM's 1e6-1e8.
+        assert PT_TIO2_DEVICE.endurance >= 1e10
+
+
+class TestConductanceMapping:
+    def test_extreme_levels(self):
+        dev = PT_TIO2_DEVICE
+        assert dev.conductance_for_level(0) == pytest.approx(dev.g_off)
+        assert dev.conductance_for_level(dev.mlc_levels - 1) == pytest.approx(
+            dev.g_on
+        )
+
+    def test_linear_spacing(self):
+        dev = PT_TIO2_DEVICE
+        g1 = dev.conductance_for_level(1)
+        g2 = dev.conductance_for_level(2)
+        g3 = dev.conductance_for_level(3)
+        assert g2 - g1 == pytest.approx(g3 - g2)
+
+    def test_monotonic(self):
+        dev = PT_TIO2_DEVICE
+        values = [
+            dev.conductance_for_level(i) for i in range(dev.mlc_levels)
+        ]
+        assert values == sorted(values)
+
+    def test_round_trip(self):
+        dev = PT_TIO2_DEVICE
+        for level in range(dev.mlc_levels):
+            g = dev.conductance_for_level(level)
+            assert dev.level_for_conductance(g) == level
+
+    def test_clamping_out_of_range_conductance(self):
+        dev = PT_TIO2_DEVICE
+        assert dev.level_for_conductance(0.0) == 0
+        assert dev.level_for_conductance(10.0) == dev.mlc_levels - 1
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PT_TIO2_DEVICE.conductance_for_level(-1)
+        with pytest.raises(ConfigurationError):
+            PT_TIO2_DEVICE.conductance_for_level(16)
+
+
+class TestValidation:
+    def test_hrs_must_exceed_lrs(self):
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(r_on=20.0 * kohm, r_off=1.0 * kohm)
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(r_on=-1.0)
+
+    def test_mlc_bits_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(mlc_bits=0)
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(mlc_bits=9)
+
+    def test_sigma_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(programming_sigma=1.5)
+        with pytest.raises(ConfigurationError):
+            ReRAMDeviceParams(read_noise_sigma=-0.1)
+
+    def test_slc_device_allowed(self):
+        dev = ReRAMDeviceParams(mlc_bits=1)
+        assert dev.mlc_levels == 2
+        assert dev.conductance_for_level(1) == pytest.approx(dev.g_on)

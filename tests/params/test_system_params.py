@@ -1,0 +1,114 @@
+"""Tests for CPU (Table IV), NPU (Table V), PRIME config, and area."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params.area import AreaModel, DEFAULT_AREA_MODEL
+from repro.params.cpu import CpuParams, DEFAULT_CPU
+from repro.params.npu import NpuParams, PNPU_CO, PNPU_PIM
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.params.crossbar import CrossbarParams
+from repro.units import GHz, KB, MB
+
+
+class TestCpuParams:
+    def test_table_iv_cpu(self):
+        assert DEFAULT_CPU.cores == 4
+        assert DEFAULT_CPU.clock_hz == pytest.approx(3.0 * GHz)
+        assert DEFAULT_CPU.l1_bytes == 32 * KB
+        assert DEFAULT_CPU.l1_assoc == 4
+        assert DEFAULT_CPU.l1_access_cycles == 2
+        assert DEFAULT_CPU.l2_bytes == 2 * MB
+        assert DEFAULT_CPU.l2_assoc == 8
+        assert DEFAULT_CPU.l2_access_cycles == 10
+
+    def test_sustained_below_peak(self):
+        assert DEFAULT_CPU.sustained_macs_per_s < DEFAULT_CPU.peak_macs_per_s
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CpuParams(compute_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            CpuParams(compute_efficiency=1.5)
+
+
+class TestNpuParams:
+    def test_table_v_datapath(self):
+        assert PNPU_CO.multiplier_rows == 16
+        assert PNPU_CO.multiplier_cols == 16
+        assert PNPU_CO.macs_per_cycle == 256  # feeds the 256-1 adder tree
+
+    def test_table_v_buffers(self):
+        assert PNPU_CO.in_buffer_bytes == 2 * KB
+        assert PNPU_CO.out_buffer_bytes == 2 * KB
+        assert PNPU_CO.weight_buffer_bytes == 32 * KB
+
+    def test_pim_variant_sees_internal_bandwidth(self):
+        assert PNPU_PIM.stacked
+        assert PNPU_PIM.memory_bandwidth > 4 * PNPU_CO.memory_bandwidth
+
+    def test_pim_variant_cheaper_memory_energy(self):
+        assert PNPU_PIM.e_memory_per_byte < PNPU_CO.e_memory_per_byte / 2
+
+    def test_same_datapath_both_variants(self):
+        assert PNPU_PIM.peak_macs_per_s == PNPU_CO.peak_macs_per_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NpuParams(multiplier_rows=0)
+        with pytest.raises(ConfigurationError):
+            NpuParams(memory_bandwidth=0.0)
+
+
+class TestPrimeConfig:
+    def test_pairs_per_bank(self):
+        assert DEFAULT_PRIME_CONFIG.pairs_per_bank == 128
+
+    def test_total_ff_mats(self):
+        cfg = DEFAULT_PRIME_CONFIG
+        assert cfg.total_ff_mats == (
+            cfg.organization.total_banks * cfg.ff_mats_per_bank
+        )
+
+    def test_max_network_synapses_matches_paper(self):
+        # §IV-B1: PRIME can map an NN with ~2.7e8 synapses.
+        assert DEFAULT_PRIME_CONFIG.max_network_synapses == pytest.approx(
+            2.7e8, rel=0.02
+        )
+
+    def test_vgg_d_fits(self):
+        # VGG-D has 1.4e8 synapses and must be mappable.
+        assert DEFAULT_PRIME_CONFIG.max_network_synapses > 1.4e8
+
+    def test_crossbar_must_match_mat_geometry(self):
+        with pytest.raises(ConfigurationError):
+            PrimeConfig(crossbar=CrossbarParams(rows=128, cols=256))
+
+    def test_synapses_per_pair(self):
+        assert DEFAULT_PRIME_CONFIG.synapses_per_pair == 256 * 128
+
+
+class TestAreaModel:
+    def test_chip_overhead_is_5_76_percent(self):
+        assert DEFAULT_AREA_MODEL.chip_overhead() == pytest.approx(
+            0.0576, abs=0.001
+        )
+
+    def test_ff_mat_overhead_is_60_percent(self):
+        assert DEFAULT_AREA_MODEL.ff_mat_overhead == pytest.approx(0.60)
+
+    def test_fig12_breakdown_components(self):
+        # Fig. 12: driver 23 pts, subtraction+sigmoid 29 pts, ctrl 8 pts.
+        assert DEFAULT_AREA_MODEL.driver_overhead == pytest.approx(0.23)
+        assert DEFAULT_AREA_MODEL.subtract_sigmoid_overhead == pytest.approx(
+            0.29
+        )
+        assert DEFAULT_AREA_MODEL.control_mux_overhead == pytest.approx(0.08)
+
+    def test_breakdown_fractions_sum_to_one(self):
+        total = sum(DEFAULT_AREA_MODEL.mat_breakdown().values())
+        assert total == pytest.approx(1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaModel(driver_overhead=-0.1)

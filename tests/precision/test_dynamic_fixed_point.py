@@ -1,0 +1,146 @@
+"""Tests for the dynamic fixed-point format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import PrecisionError
+from repro.precision.dynamic_fixed_point import (
+    DynamicFixedPoint,
+    quantize_tensor,
+)
+
+
+class TestFormatBasics:
+    def test_signed_range(self):
+        fmt = DynamicFixedPoint(bits=8, exponent=0)
+        assert fmt.int_min == -128
+        assert fmt.int_max == 127
+
+    def test_unsigned_range(self):
+        fmt = DynamicFixedPoint(bits=6, exponent=0, signed=False)
+        assert fmt.int_min == 0
+        assert fmt.int_max == 63
+
+    def test_resolution(self):
+        fmt = DynamicFixedPoint(bits=4, exponent=-3)
+        assert fmt.resolution == pytest.approx(0.125)
+        assert fmt.max_value == pytest.approx(7 * 0.125)
+
+    def test_minimum_widths(self):
+        with pytest.raises(PrecisionError):
+            DynamicFixedPoint(bits=1, exponent=0, signed=True)
+        DynamicFixedPoint(bits=1, exponent=0, signed=False)  # ok
+
+
+class TestQuantization:
+    def test_round_trip_representable(self):
+        fmt = DynamicFixedPoint(bits=8, exponent=-4)
+        values = np.array([0.0, 0.0625, -0.125, 1.0])
+        assert np.allclose(fmt.quantize(values), values)
+
+    def test_saturation(self):
+        fmt = DynamicFixedPoint(bits=4, exponent=0)
+        q = fmt.quantize_int(np.array([100.0, -100.0]))
+        assert q.tolist() == [7, -8]
+
+    def test_rounding(self):
+        fmt = DynamicFixedPoint(bits=8, exponent=0)
+        q = fmt.quantize_int(np.array([1.4, 1.6, -2.5]))
+        assert q[0] == 1 and q[1] == 2
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        fmt = DynamicFixedPoint(bits=8, exponent=-3)
+        values = np.linspace(-10, 10, 999)
+        clipped = np.clip(values, fmt.min_value, fmt.max_value)
+        err = np.abs(fmt.quantize(values) - clipped)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    def test_error_metric(self):
+        fmt = DynamicFixedPoint(bits=8, exponent=-3)
+        assert fmt.quantization_error(np.array([0.125])) == pytest.approx(
+            0.0
+        )
+        assert fmt.quantization_error(np.array([])) == 0.0
+
+
+class TestDynamicExponent:
+    def test_exponent_covers_peak(self):
+        data = np.array([0.9, -3.7, 0.1])
+        fmt = DynamicFixedPoint.for_data(data, bits=8)
+        assert fmt.max_value >= 3.7 or fmt.int_min * fmt.resolution <= -3.7
+
+    def test_small_data_gets_fine_resolution(self):
+        coarse = DynamicFixedPoint.for_data(np.array([100.0]), bits=8)
+        fine = DynamicFixedPoint.for_data(np.array([0.01]), bits=8)
+        assert fine.resolution < coarse.resolution
+
+    def test_zero_data(self):
+        fmt = DynamicFixedPoint.for_data(np.zeros(5), bits=8)
+        assert np.allclose(fmt.quantize(np.zeros(5)), 0.0)
+
+    def test_quantize_tensor_helper(self):
+        data = np.linspace(-1, 1, 11)
+        q, fmt = quantize_tensor(data, bits=6)
+        assert q.shape == data.shape
+        assert np.abs(q - data).max() <= fmt.resolution / 2 + 1e-12
+
+
+class TestHypothesisProperties:
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 40),
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        ),
+        bits=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_no_overflow_for_any_data(self, data, bits):
+        fmt = DynamicFixedPoint.for_data(data, bits=bits)
+        q = fmt.quantize_int(data)
+        assert q.min() >= fmt.int_min
+        assert q.max() <= fmt.int_max
+
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 40),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        bits=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_bounded_by_lsb(self, data, bits):
+        fmt = DynamicFixedPoint.for_data(data, bits=bits)
+        err = np.abs(fmt.quantize(data) - data)
+        assert err.max() <= fmt.resolution / 2 + 1e-9 * max(
+            1.0, np.abs(data).max()
+        )
+
+    @given(
+        data=arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        bits=st.integers(2, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_idempotent(self, data, bits):
+        fmt = DynamicFixedPoint.for_data(data, bits=bits)
+        once = fmt.quantize(data)
+        twice = fmt.quantize(once)
+        assert np.array_equal(once, twice)
+
+    @given(bits=st.integers(2, 12), exponent=st.integers(-20, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_more_bits_never_hurt(self, bits, exponent):
+        data = np.linspace(-3, 3, 41)
+        narrow = DynamicFixedPoint.for_data(data, bits=bits)
+        wide = DynamicFixedPoint.for_data(data, bits=bits + 2)
+        assert wide.quantization_error(data) <= (
+            narrow.quantization_error(data) + 1e-12
+        )

@@ -1,0 +1,89 @@
+"""Tests for the unit helpers and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.units import (
+    GB,
+    GHz,
+    KB,
+    MB,
+    gops,
+    ns,
+    pJ,
+    to_ns,
+    to_pj,
+    us,
+)
+
+
+class TestUnits:
+    def test_time_scale(self):
+        assert 1000 * ns == pytest.approx(1 * us)
+
+    def test_round_trips(self):
+        assert to_ns(22.5 * ns) == pytest.approx(22.5)
+        assert to_pj(8.9e-9) == pytest.approx(8900.0)
+
+    def test_data_sizes_are_powers_of_two(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_gops(self):
+        assert gops(2e9, 1.0) == pytest.approx(2.0)
+        assert gops(1e9, 0.5) == pytest.approx(2.0)
+
+    def test_gops_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            gops(1e9, 0.0)
+
+    def test_frequency(self):
+        assert 3 * GHz == pytest.approx(3e9)
+
+    def test_energy(self):
+        assert 1000 * pJ == pytest.approx(1e-9)
+
+
+class TestErrorHierarchy:
+    ALL = [
+        errors.ConfigurationError,
+        errors.DeviceError,
+        errors.CrossbarError,
+        errors.PrecisionError,
+        errors.MemoryError_,
+        errors.ControllerError,
+        errors.MappingError,
+        errors.ExecutionError,
+        errors.WorkloadError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_single_except_clause_catches_everything(self):
+        for exc in self.ALL:
+            try:
+                raise exc("boom")
+            except errors.ReproError as caught:
+                assert str(caught) == "boom"
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_exposed(self):
+        assert callable(repro.PrimeSession)
+        assert callable(repro.parse_topology)
+        assert "MLP-S" in repro.MLBENCH
