@@ -4,11 +4,41 @@ Every module regenerates one table or figure of the paper's evaluation
 section: it runs the experiment driver once under pytest-benchmark,
 asserts the paper's qualitative shape, and prints the same rows/series
 the paper plots (run with ``-s`` to see them).
+
+Each run also writes ``BENCH_summary.json`` next to the repo root — a
+machine-readable record of per-benchmark wall time plus the scalar
+outputs of each driver's result object — so the performance trajectory
+of the reproduction is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+#: benchmark name -> {"wall_s": float, "result": {scalar fields}}
+_RESULTS: dict[str, dict] = {}
+
+
+def _scalar_fields(obj, limit: int = 24) -> dict:
+    """Public int/float/str/bool attributes of a result object."""
+    out: dict[str, object] = {}
+    for name in dir(obj):
+        if name.startswith("_") or len(out) >= limit:
+            continue
+        try:
+            value = getattr(obj, name)
+        except Exception:
+            continue
+        if isinstance(value, bool) or callable(value):
+            continue
+        if isinstance(value, (int, float, str)):
+            out[name] = value
+    return out
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -17,9 +47,19 @@ def run_once(benchmark, fn, *args, **kwargs):
     Experiment drivers are deterministic and some are slow (training);
     one round keeps the harness fast while still recording a timing.
     """
-    return benchmark.pedantic(
+    start = time.perf_counter()
+    result = benchmark.pedantic(
         fn, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - start
+    name = getattr(benchmark, "name", None) or getattr(
+        fn, "__name__", "benchmark"
+    )
+    _RESULTS[name] = {
+        "wall_s": wall_s,
+        "result": _scalar_fields(result) if result is not None else {},
+    }
+    return result
 
 
 @pytest.fixture
@@ -30,3 +70,18 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the machine-readable summary of every benchmark that ran."""
+    if not _RESULTS:
+        return
+    path = Path(str(session.config.rootpath)) / "BENCH_summary.json"
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "benchmarks": dict(sorted(_RESULTS.items())),
+    }
+    path.write_text(json.dumps(payload, indent=1, default=str))

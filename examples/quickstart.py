@@ -5,20 +5,38 @@ five-call software/hardware interface of Figure 7:
 
     Map_Topology -> Program_Weight -> Config_Datapath -> Run -> Post_Proc
 
-and finally reports the analytical speedup/energy estimate of the
-mapped network against the CPU-only baseline.
+reports the analytical speedup/energy estimate of the mapped network
+against the CPU-only baseline, and finishes with the observability
+layer: bank utilization and the executor's stage-bottleneck decision
+straight from a telemetry snapshot, plus a Chrome-trace JSON
+(``quickstart_trace.json``, loadable in Perfetto / chrome://tracing).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
-from repro import CpuModel, PrimeSession, parse_topology, synthetic_mnist
+from repro import (
+    CpuModel,
+    PrimeSession,
+    parse_topology,
+    synthetic_mnist,
+    telemetry,
+)
+from repro.core.scheduler import BankScheduler
 
 
 def main() -> None:
+    # Record everything this example does: spans, counters, and the
+    # analytical model's per-stage trace (PRIME_TELEMETRY=1 would do
+    # the same from the environment).
+    telemetry.enable()
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+
     # --- off-line training (the paper trains NNs off-line too) -------
     print("== training a 784-64-10 digit classifier off-line ==")
     x, y = synthetic_mnist(4400, flat=True, seed=42)
@@ -28,16 +46,17 @@ def main() -> None:
     net = topology.build(
         rng=np.random.default_rng(5), hidden_activation="relu"
     )
-    result = net.train_sgd(
-        x_train,
-        y_train,
-        epochs=15,
-        batch_size=32,
-        learning_rate=0.1,
-        rng=np.random.default_rng(6),
-        val_x=x_test,
-        val_labels=y_test,
-    )
+    with telemetry.span("quickstart.train"):
+        result = net.train_sgd(
+            x_train,
+            y_train,
+            epochs=15,
+            batch_size=32,
+            learning_rate=0.1,
+            rng=np.random.default_rng(6),
+            val_x=x_test,
+            val_labels=y_test,
+        )
     print(f"float accuracy after training: {result.final_accuracy:.3f}")
 
     # --- the five-call PRIME API --------------------------------------
@@ -77,6 +96,32 @@ def main() -> None:
 
     session.release()
     print("\nFF subarrays released back to normal memory.")
+
+    # --- observability: what was the machine doing? -------------------
+    print("\n== telemetry: utilization, bottleneck, and the trace ==")
+    # The bank scheduler treats the 64 banks as 64 NPUs; its grant
+    # decisions surface as scheduler.* metrics.
+    scheduler = BankScheduler()
+    scheduler.deploy(topology, max_replicas=8)
+    snapshot = telemetry.snapshot()
+    util = telemetry.gauge_value("scheduler.bank_utilization")
+    print(f"bank utilization after an 8-replica grant: {util:.1%}")
+    print(
+        f"executor bottleneck stage: {prime.extras['bottleneck_stage']} "
+        f"({prime.extras['bottleneck_s'] * 1e9:.0f} ns/sample steady state)"
+    )
+    print(
+        f"crossbar MVM firings recorded: "
+        f"{telemetry.counter_value('mvm.invocations'):.0f} "
+        f"across {len(snapshot['spans'])} wall spans"
+    )
+    scheduler.release(topology.name)
+
+    trace_path = telemetry.write_chrome_trace("quickstart_trace.json")
+    print(f"Chrome trace written to {trace_path} (open in Perfetto)")
+    # The human-readable digest goes through the repro.telemetry
+    # logger (never bare print) — visible because of basicConfig above.
+    telemetry.log_summary()
 
 
 if __name__ == "__main__":

@@ -31,6 +31,14 @@ Quickstart::
     labels = session.post_proc(outputs)
 """
 
+import logging as _logging
+
+# Library logging policy: the package logs under the "repro" hierarchy
+# and never configures handlers itself — applications opt in with
+# logging.basicConfig()/dictConfig().  Telemetry's human-readable
+# output (telemetry.log_summary) flows through "repro.telemetry".
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.errors import (
     ReproError,
     ConfigurationError,
@@ -43,6 +51,7 @@ from repro.errors import (
     ExecutionError,
     WorkloadError,
 )
+from repro import telemetry
 from repro.params import (
     PrimeConfig,
     DEFAULT_PRIME_CONFIG,
@@ -81,6 +90,7 @@ __all__ = [
     "MappingError",
     "ExecutionError",
     "WorkloadError",
+    "telemetry",
     "PrimeConfig",
     "DEFAULT_PRIME_CONFIG",
     "CrossbarParams",

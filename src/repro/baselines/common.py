@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import WorkloadError
 from repro.nn.topology import ConvSpec, DenseSpec, NetworkTopology, PoolSpec
 
@@ -182,3 +183,29 @@ class ExecutionReport:
             "buffer": self.buffer_energy_j / total,
             "memory": self.memory_energy_j / total,
         }
+
+
+def record_report(report: ExecutionReport) -> None:
+    """Emit the shared ``model.*`` telemetry counters for one report.
+
+    Every system model (CPU, pNPU-co, pNPU-pim, PRIME) funnels its
+    estimates through here so baseline comparisons accumulate under
+    identical metric names, labelled by ``system`` and ``workload``.
+    """
+    if not telemetry.enabled():
+        return
+    labels = {"system": report.system, "workload": report.workload}
+    telemetry.count("model.estimates", 1, **labels)
+    telemetry.count("model.samples", report.batch, **labels)
+    telemetry.count("model.latency_ns", report.latency_s * 1e9, **labels)
+    for stage, time_s, energy_j in (
+        ("compute", report.compute_time_s, report.compute_energy_j),
+        ("buffer", report.buffer_time_s, report.buffer_energy_j),
+        ("memory", report.memory_time_s, report.memory_energy_j),
+    ):
+        telemetry.count(
+            "model.time_ns", time_s * 1e9, stage=stage, **labels
+        )
+        telemetry.count(
+            "model.energy_nj", energy_j * 1e9, stage=stage, **labels
+        )

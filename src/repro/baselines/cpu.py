@@ -11,7 +11,12 @@ package power × busy time plus cache and DRAM traffic energy.
 from __future__ import annotations
 
 from repro.errors import WorkloadError
-from repro.baselines.common import ExecutionReport, LayerTraffic, workload_traffic
+from repro.baselines.common import (
+    ExecutionReport,
+    LayerTraffic,
+    record_report,
+    workload_traffic,
+)
 from repro.nn.topology import NetworkTopology
 from repro.params.cpu import CpuParams, DEFAULT_CPU
 from repro.params.memory import (
@@ -94,7 +99,7 @@ class CpuModel:
             dram_bytes * self.organization.e_offchip_per_byte
             + self.params.power_w * memory_s  # cores stall but burn power
         )
-        return ExecutionReport(
+        report = ExecutionReport(
             system="CPU",
             workload=topology.name,
             batch=batch,
@@ -108,6 +113,8 @@ class CpuModel:
                 "dram_bytes": dram_bytes,
             },
         )
+        record_report(report)
+        return report
 
     def _layer_compute_time(self, t: LayerTraffic) -> float:
         ops = t.macs

@@ -18,7 +18,12 @@ PRIME's in-memory placement removes.
 from __future__ import annotations
 
 from repro.errors import WorkloadError
-from repro.baselines.common import ExecutionReport, LayerTraffic, workload_traffic
+from repro.baselines.common import (
+    ExecutionReport,
+    LayerTraffic,
+    record_report,
+    workload_traffic,
+)
 from repro.nn.topology import NetworkTopology
 from repro.params.npu import NpuParams, PNPU_CO, PNPU_PIM
 
@@ -63,7 +68,7 @@ class NpuCoProcessorModel:
         memory_bytes *= batch
         per_sample_latency = (compute_s + memory_s) / batch
         latency = self._batch_latency(per_sample_latency, batch)
-        return ExecutionReport(
+        report = ExecutionReport(
             system=self.system_name,
             workload=topology.name,
             batch=batch,
@@ -77,6 +82,8 @@ class NpuCoProcessorModel:
             memory_energy_j=memory_bytes * self.params.e_memory_per_byte,
             extras={"memory_bytes": memory_bytes},
         )
+        record_report(report)
+        return report
 
     def _batch_latency(self, per_sample: float, batch: int) -> float:
         return per_sample * batch

@@ -23,6 +23,7 @@ The compiler turns a :class:`~repro.nn.topology.NetworkTopology` into a
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.errors import MappingError
 from repro.nn.topology import NetworkTopology
 from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
@@ -47,6 +48,21 @@ class PrimeCompiler:
         bank_parallel: bool = True,
     ) -> MappingPlan:
         """Produce a validated mapping plan for ``topology``."""
+        with telemetry.span(
+            "compiler.compile", workload=topology.name
+        ) as tspan:
+            plan = self._compile_inner(
+                topology, replicate, bank_parallel, tspan
+            )
+        return plan
+
+    def _compile_inner(
+        self,
+        topology: NetworkTopology,
+        replicate: bool,
+        bank_parallel: bool,
+        tspan,
+    ) -> MappingPlan:
         mappings = [
             self._map_layer(t) for t in workload_traffic(topology)
         ]
@@ -93,6 +109,15 @@ class PrimeCompiler:
                     f"bank-level parallelism: {plan.bank_replicas} replicas"
                 )
         plan.validate()
+        if telemetry.enabled():
+            telemetry.count("compiler.plans", workload=topology.name)
+            tspan.set(
+                scale=plan.scale.value,
+                banks_used=plan.banks_used,
+                bank_replicas=plan.bank_replicas,
+                base_pairs=plan.base_pairs,
+                total_pairs=plan.total_pairs,
+            )
         return plan
 
     # -- tiling ------------------------------------------------------------

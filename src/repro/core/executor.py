@@ -18,8 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ExecutionError
-from repro.baselines.common import ExecutionReport
+from repro.baselines.common import ExecutionReport, record_report
 from repro.core.mapping import LayerMapping, MappingPlan, NetworkScale
 from repro.crossbar.engine import CrossbarMVMEngine
 from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, MeanPool2D
@@ -67,6 +68,20 @@ class PrimeExecutor:
         """Latency/energy report for ``batch`` samples of ``plan``."""
         if batch < 1:
             raise ExecutionError("batch must be >= 1")
+        with telemetry.span(
+            "executor.estimate", workload=plan.workload, batch=batch
+        ) as tspan:
+            return self._estimate_inner(
+                plan, batch, use_bank_parallelism, tspan
+            )
+
+    def _estimate_inner(
+        self,
+        plan: MappingPlan,
+        batch: int,
+        use_bank_parallelism: bool,
+        tspan,
+    ) -> ExecutionReport:
         xbar = self.config.crossbar
         t_round = xbar.t_full_mvm
         costs = [self._layer_costs(m, t_round) for m in plan.layers]
@@ -74,8 +89,14 @@ class PrimeExecutor:
         sample_latency = sum(c.latency_s for c in costs)
         sample_compute_j = sum(c.compute_j for c in costs)
         sample_buffer_j = sum(c.buffer_j for c in costs)
-        bottleneck = max(c.bottleneck_s for c in costs)
-        bottleneck = max(bottleneck, self._feed_time(plan))
+        # The steady-state sample rate is set by the slowest stage:
+        # a layer's analog/buffer occupancy, the bank's input feed, or
+        # (large scale) the slowest whole-bank pipeline stage.
+        stages = [
+            (m.traffic.name, c.bottleneck_s)
+            for m, c in zip(plan.layers, costs)
+        ]
+        stages.append(("input_feed", self._feed_time(plan)))
 
         # Inter-bank pipeline hops for large-scale networks.
         interbank_s = 0.0
@@ -83,7 +104,9 @@ class PrimeExecutor:
         if plan.scale is NetworkScale.LARGE:
             interbank_s, interbank_j = self._interbank_costs(plan)
             sample_latency += interbank_s
-            bottleneck = max(bottleneck, self._stage_bottleneck(plan, t_round))
+            stages.append(
+                ("bank_pipeline_stage", self._stage_bottleneck(plan, t_round))
+            )
 
         # Naive-serial ablation: FF subarrays reprogrammed per stage.
         reprogram_stages = plan.extras.get("reprogram_stages", 0)
@@ -91,7 +114,8 @@ class PrimeExecutor:
         if reprogram_stages:
             reprogram_s = self._reprogram_time(plan) * reprogram_stages
             sample_latency += reprogram_s
-            bottleneck = max(bottleneck, sample_latency)
+            stages.append(("ff_reprogram", sample_latency))
+        bottleneck_stage, bottleneck = max(stages, key=lambda nv: nv[1])
 
         replicas = plan.bank_replicas if use_bank_parallelism else 1
         per_replica = -(-batch // replicas)
@@ -112,7 +136,7 @@ class PrimeExecutor:
         compute_time = (
             latency - buffer_stall * per_replica - interbank_s * per_replica
         )
-        return ExecutionReport(
+        report = ExecutionReport(
             system="PRIME",
             workload=plan.workload,
             batch=batch,
@@ -126,11 +150,103 @@ class PrimeExecutor:
             extras={
                 "sample_latency_s": sample_latency,
                 "bottleneck_s": bottleneck,
+                "bottleneck_stage": bottleneck_stage,
                 "replicas": replicas,
                 "utilization_before": plan.utilization_before_replication,
                 "utilization_after": plan.utilization_after_replication,
                 "reprogram_s": reprogram_s,
             },
+        )
+        if telemetry.enabled():
+            self._record_estimate(
+                plan,
+                batch,
+                costs,
+                report,
+                per_replica=per_replica,
+                interbank=(interbank_s, interbank_j),
+                reprogram_s=reprogram_s,
+                io_memory_j=memory_j - interbank_j * batch,
+            )
+            tspan.set(
+                bottleneck_stage=bottleneck_stage,
+                bottleneck_ns=bottleneck * 1e9,
+                replicas=replicas,
+                latency_ns=latency * 1e9,
+            )
+        return report
+
+    def _record_estimate(
+        self,
+        plan: MappingPlan,
+        batch: int,
+        costs: list[_LayerCosts],
+        report: ExecutionReport,
+        per_replica: int,
+        interbank: tuple[float, float],
+        reprogram_s: float,
+        io_memory_j: float,
+    ) -> None:
+        """Emit the analytical model as a second, per-stage accounting.
+
+        One model-time track per workload carries a gap-free event per
+        layer (plus inter-bank / reprogram / pipeline tail events).
+        The summed event durations reconstruct ``report.latency_s`` and
+        the summed per-event energies reconstruct the three energy
+        categories — the telemetry tests cross-validate both.
+        """
+        track = f"PRIME:{plan.workload}"
+        for mapping, c in zip(plan.layers, costs):
+            telemetry.model_event(
+                mapping.traffic.name,
+                c.latency_s,
+                track=track,
+                stage="compute",
+                compute_energy_nj=c.compute_j * batch * 1e9,
+                buffer_energy_nj=c.buffer_j * batch * 1e9,
+                buffer_stall_ns=c.buffer_stall_s * 1e9,
+                rounds=mapping.rounds_per_sample,
+            )
+        interbank_s, interbank_j = interbank
+        if interbank_s > 0.0:
+            telemetry.model_event(
+                "interbank.transfer",
+                interbank_s,
+                track=track,
+                stage="memory",
+                memory_energy_nj=interbank_j * batch * 1e9,
+            )
+        if reprogram_s > 0.0:
+            telemetry.model_event(
+                "ff.reprogram", reprogram_s, track=track, stage="compute"
+            )
+        # Host-side I/O is hidden behind compute (zero model time) but
+        # its energy belongs to the memory category.
+        telemetry.model_event(
+            "memory.host_io",
+            0.0,
+            track=track,
+            stage="memory",
+            memory_energy_nj=io_memory_j * 1e9,
+        )
+        tail = (per_replica - 1) * report.extras["bottleneck_s"]
+        if tail > 0.0:
+            telemetry.model_event(
+                "pipeline.steady_state",
+                tail,
+                track=track,
+                stage="pipeline",
+                waves=per_replica - 1,
+            )
+        record_report(report)
+        telemetry.gauge(
+            "model.bottleneck_ns",
+            report.extras["bottleneck_s"] * 1e9,
+            workload=plan.workload,
+        )
+        telemetry.gauge(
+            "model.replicas", report.extras["replicas"],
+            workload=plan.workload,
         )
 
     def _layer_costs(
@@ -276,20 +392,31 @@ class PrimeExecutor:
         xbar = self.config.crossbar
         pin = input_bits or xbar.effective_input_bits
         pw = weight_bits or xbar.effective_weight_bits
-        if programmed is None:
-            programmed = self.program_network(network, plan, rng=rng, pw=pw)
-        else:
-            programmed = list(programmed)
-        act = np.asarray(x, dtype=np.float64)
-        for layer in network.layers:
-            if isinstance(layer, (Dense, Conv2D)):
-                tiles, w_fmt = programmed.pop(0)
-                act = self._run_weight_layer(
-                    layer, tiles, w_fmt, act, pin, with_noise
+        with telemetry.span(
+            "executor.run_functional",
+            workload=plan.workload,
+            batch=int(np.asarray(x).shape[0]),
+        ):
+            if programmed is None:
+                programmed = self.program_network(
+                    network, plan, rng=rng, pw=pw
                 )
             else:
-                act = layer.forward(act)
-        return act
+                programmed = list(programmed)
+            act = np.asarray(x, dtype=np.float64)
+            for layer in network.layers:
+                if isinstance(layer, (Dense, Conv2D)):
+                    tiles, w_fmt = programmed.pop(0)
+                    with telemetry.span(
+                        "executor.layer", layer=type(layer).__name__
+                    ):
+                        act = self._run_weight_layer(
+                            layer, tiles, w_fmt, act, pin, with_noise
+                        )
+                else:
+                    act = layer.forward(act)
+            telemetry.count("executor.functional_runs")
+            return act
 
     def quantize_layer_matrices(
         self,
@@ -352,16 +479,22 @@ class PrimeExecutor:
         """Program every layer into fresh standalone engines."""
         xbar = self.config.crossbar
         programmed = []
-        quantized = self.quantize_layer_matrices(network, plan, pw)
-        for mapping, (w_int, w_fmt) in zip(plan.weight_layers, quantized):
-            tiles: list[list[CrossbarMVMEngine]] = [
-                [None] * mapping.col_blocks for _ in range(mapping.row_blocks)
-            ]
-            for rb, cb, tile in self.iter_tiles(mapping, w_int):
-                engine = CrossbarMVMEngine(xbar, rng=rng)
-                engine.program(tile)
-                tiles[rb][cb] = engine
-            programmed.append((tiles, w_fmt))
+        with telemetry.span(
+            "executor.program_network", workload=plan.workload
+        ):
+            quantized = self.quantize_layer_matrices(network, plan, pw)
+            for mapping, (w_int, w_fmt) in zip(
+                plan.weight_layers, quantized
+            ):
+                tiles: list[list[CrossbarMVMEngine]] = [
+                    [None] * mapping.col_blocks
+                    for _ in range(mapping.row_blocks)
+                ]
+                for rb, cb, tile in self.iter_tiles(mapping, w_int):
+                    engine = CrossbarMVMEngine(xbar, rng=rng)
+                    engine.program(tile)
+                    tiles[rb][cb] = engine
+                programmed.append((tiles, w_fmt))
         return programmed
 
     def _run_weight_layer(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import telemetry
 from repro.errors import MappingError
 from repro.baselines.common import LayerTraffic
 
@@ -166,6 +167,27 @@ class MappingPlan:
         pairs, so their per-bank accounting covers the base copies and
         the replica total is checked against the whole memory.
         """
+        with telemetry.span("map.validate", workload=self.workload):
+            self._validate_inner()
+        if telemetry.enabled():
+            telemetry.gauge(
+                "map.utilization_before",
+                self.utilization_before_replication,
+                workload=self.workload,
+            )
+            telemetry.gauge(
+                "map.utilization_after",
+                self.utilization_after_replication,
+                workload=self.workload,
+            )
+            telemetry.gauge(
+                "map.total_pairs", self.total_pairs, workload=self.workload
+            )
+            telemetry.gauge(
+                "map.banks_used", self.banks_used, workload=self.workload
+            )
+
+    def _validate_inner(self) -> None:
         if self.scale is NetworkScale.LARGE:
             capacity = self.banks_used * self.pairs_per_bank
             if self.total_pairs > capacity:

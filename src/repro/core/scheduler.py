@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.errors import MappingError
 from repro.core.compiler import PrimeCompiler
 from repro.core.executor import PrimeExecutor
@@ -75,6 +76,29 @@ class BankScheduler:
         footprint exceeds the free pool or the name is already
         resident.
         """
+        with telemetry.span(
+            "scheduler.deploy", workload=topology.name
+        ) as tspan:
+            deployment = self._deploy_inner(topology, max_replicas)
+            if telemetry.enabled():
+                telemetry.count("scheduler.deployments")
+                telemetry.count(
+                    "scheduler.banks_granted", len(deployment.banks)
+                )
+                telemetry.gauge(
+                    "scheduler.bank_utilization", self.utilization()
+                )
+                tspan.set(
+                    replicas=deployment.replicas,
+                    banks=len(deployment.banks),
+                )
+        return deployment
+
+    def _deploy_inner(
+        self,
+        topology: NetworkTopology,
+        max_replicas: int | None,
+    ) -> Deployment:
         if topology.name in self.deployments:
             raise MappingError(
                 f"{topology.name!r} is already deployed"
@@ -119,6 +143,11 @@ class BankScheduler:
             raise MappingError(f"no deployment named {name!r}")
         self.free_banks.extend(deployment.banks)
         self.free_banks.sort()
+        if telemetry.enabled():
+            telemetry.count("scheduler.releases")
+            telemetry.gauge(
+                "scheduler.bank_utilization", self.utilization()
+            )
 
     @property
     def resident(self) -> list[str]:

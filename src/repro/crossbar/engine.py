@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import CrossbarError
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
 from repro.precision.composing import ComposingSpec, split_unsigned
@@ -107,8 +108,27 @@ class CrossbarMVMEngine:
         #: Ideal programmed weights, kept for SA-reference calibration.
         self.programmed_weights = w.astype(np.int64).copy()
         self._programmed = True
+        if telemetry.enabled():
+            telemetry.count("crossbar.programs")
+            telemetry.count("crossbar.program_cells", 4 * w.size)
+            telemetry.count(
+                "crossbar.reprogram_ns",
+                rows * self.params.device.t_write * 1e9,
+            )
 
     # -- execution --------------------------------------------------------
+
+    def _record_mvms(self, n: int) -> None:
+        """Charge ``n`` composed MVM firings to the telemetry layer."""
+        if not telemetry.enabled():
+            return
+        telemetry.count("mvm.invocations", n)
+        telemetry.count(
+            "mvm.model_time_ns", n * self.params.t_full_mvm * 1e9
+        )
+        telemetry.count(
+            "mvm.energy_nj", n * 2.0 * self.params.e_full_mvm * 1e9
+        )
 
     def _part_weights(self) -> dict[str, int]:
         """Power-of-two weight of each partial product in Eq. 8."""
@@ -177,6 +197,7 @@ class CrossbarMVMEngine:
             self.spec.target_shift if output_shift is None else output_shift
         )
         self.mvm_invocations += 1
+        self._record_mvms(1)
         in_hi, in_lo = split_unsigned(inputs.astype(np.int64), self.spec.pin)
         counts_hi = self._drive_phase(in_hi, with_noise)
         counts_lo = self._drive_phase(in_lo, with_noise)
@@ -218,6 +239,7 @@ class CrossbarMVMEngine:
             self.spec.target_shift if output_shift is None else output_shift
         )
         self.mvm_invocations += inputs.shape[0]
+        self._record_mvms(inputs.shape[0])
         in_hi, in_lo = split_unsigned(inputs.astype(np.int64), self.spec.pin)
         padded = np.zeros((2 * inputs.shape[0], self.params.rows))
         padded[: inputs.shape[0], : self.rows_used] = in_hi

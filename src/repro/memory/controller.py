@@ -25,6 +25,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ControllerError
 from repro.memory.bank import Bank
 from repro.memory.metering import CostCategory
@@ -186,6 +187,11 @@ class PrimeController:
     def execute(self, command: Command) -> np.ndarray | None:
         """Execute one decoded command; returns data for ``load``."""
         self.command_log.append(command.encode())
+        if telemetry.enabled():
+            telemetry.count(
+                "controller.commands",
+                op=getattr(command, "op", type(command).__name__),
+            )
         if isinstance(command, DatapathCommand):
             self._execute_datapath(command)
             return None
@@ -253,29 +259,44 @@ class PrimeController:
 
         Returns the number of bytes migrated.
         """
-        sub = self._ff(ff_index)
-        snapshots = sub.begin_morph_to_compute()
-        migrated = 0
-        for snap in snapshots:
-            packed = np.packbits(snap.reshape(-1))
-            self.bank.mem_write(backup_offset + migrated, packed)
-            migrated += packed.size
-        device = self.bank.config.crossbar.device
-        for pair_index, weights in weights_per_pair.items():
-            host, buddy = sub.pair(pair_index)
-            host.begin_programming()
-            host.program_weights(weights)
-            buddy.attach_as_buddy(2 * pair_index)
-            cells = 2 * weights.size * 2  # pos+neg arrays, hi+lo columns
+        with telemetry.span(
+            "controller.morph_to_compute", ff_index=ff_index
+        ) as tspan:
+            sub = self._ff(ff_index)
+            snapshots = sub.begin_morph_to_compute()
+            migrated = 0
+            for snap in snapshots:
+                packed = np.packbits(snap.reshape(-1))
+                self.bank.mem_write(backup_offset + migrated, packed)
+                migrated += packed.size
+            device = self.bank.config.crossbar.device
+            reprogram_s = 0.0
+            for pair_index, weights in weights_per_pair.items():
+                host, buddy = sub.pair(pair_index)
+                host.begin_programming()
+                host.program_weights(weights)
+                buddy.attach_as_buddy(2 * pair_index)
+                cells = 2 * weights.size * 2  # pos+neg, hi+lo columns
+                reprogram_s += weights.shape[0] * device.t_write
+                self.bank.meter.charge(
+                    CostCategory.COMPUTE,
+                    time_s=weights.shape[0] * device.t_write,
+                    energy_j=cells * device.e_write,
+                )
             self.bank.meter.charge(
-                CostCategory.COMPUTE,
-                time_s=weights.shape[0] * device.t_write,
-                energy_j=cells * device.e_write,
+                CostCategory.COMPUTE, time_s=self.bank.config.t_reconfig
             )
-        self.bank.meter.charge(
-            CostCategory.COMPUTE, time_s=self.bank.config.t_reconfig
-        )
-        sub.finish_morph_to_compute()
+            sub.finish_morph_to_compute()
+            if telemetry.enabled():
+                telemetry.count("controller.morphs_to_compute")
+                telemetry.count("controller.migrated_bytes", migrated)
+                telemetry.count(
+                    "controller.reprogram_ns", reprogram_s * 1e9
+                )
+                tspan.set(
+                    migrated_bytes=migrated,
+                    pairs=len(weights_per_pair),
+                )
         return migrated
 
     def morph_to_memory(
@@ -284,6 +305,17 @@ class PrimeController:
         backup_offset: int | None = None,
     ) -> None:
         """Switch one FF subarray back to memory mode (wrap-up step)."""
+        with telemetry.span(
+            "controller.morph_to_memory", ff_index=ff_index
+        ):
+            telemetry.count("controller.morphs_to_memory")
+            self._morph_to_memory_inner(ff_index, backup_offset)
+
+    def _morph_to_memory_inner(
+        self,
+        ff_index: int,
+        backup_offset: int | None,
+    ) -> None:
         sub = self._ff(ff_index)
         if sub.state is not FFSubarrayState.COMPUTE:
             raise ControllerError("subarray is not in compute mode")

@@ -1,0 +1,147 @@
+"""Counter / gauge / histogram registry for the telemetry layer.
+
+Metrics are identified by a name plus an optional set of string labels
+(e.g. ``model.energy_nj{system=PRIME, stage=compute}``).  The registry
+is a plain in-process accumulator: no background threads, no sampling,
+no dependencies — reading it is always consistent with the last write.
+
+Naming convention (see README "Observability" for the glossary):
+suffix ``_ns`` for model/wall times in nanoseconds, ``_nj`` for energy
+in nanojoules, bare names for event counts and ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing accumulator."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def add(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += value
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins measurement."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Count/sum/min/max summary of observed values."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store of every metric recorded this session."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, object]):
+        key = (cls.__name__, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(
+                name=name, labels={k: str(v) for k, v in labels.items()}
+            )
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- read side ------------------------------------------------------
+
+    def counters(self) -> list[Counter]:
+        return [m for m in self._metrics.values() if isinstance(m, Counter)]
+
+    def gauges(self) -> list[Gauge]:
+        return [m for m in self._metrics.values() if isinstance(m, Gauge)]
+
+    def histograms(self) -> list[Histogram]:
+        return [
+            m for m in self._metrics.values() if isinstance(m, Histogram)
+        ]
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one counter (0.0 if never written)."""
+        key = ("Counter", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        return metric.value if metric is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter name across every label set."""
+        return sum(c.value for c in self.counters() if c.name == name)
+
+    def gauge_value(self, name: str, **labels: object) -> float | None:
+        key = ("Gauge", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        return metric.value if metric is not None else None
+
+    def snapshot(self) -> dict:
+        """Flat JSON-serialisable dump of every metric."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": c.labels, "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": g.labels, "value": g.value}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": h.labels,
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.minimum if h.count else None,
+                    "max": h.maximum if h.count else None,
+                    "mean": h.mean,
+                }
+                for h in self.histograms()
+            ],
+        }
