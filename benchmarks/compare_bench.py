@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Gate benchmark wall-clock against a committed baseline.
+
+Compares the ``wall_s`` of every benchmark present in both a baseline
+``BENCH_summary.json`` and a current one, and fails (exit 1) when any
+shared benchmark regressed by more than ``--max-regression`` (default
+25%).  Baseline entries faster than ``--min-wall`` are skipped — they
+are noise-dominated and a 25% band on 5 ms is meaningless.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json BENCH_warm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_walls(path: Path) -> dict[str, float]:
+    payload = json.loads(path.read_text())
+    return {
+        name: float(entry["wall_s"])
+        for name, entry in payload.get("benchmarks", {}).items()
+        if "wall_s" in entry
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional slowdown (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-wall",
+        type=float,
+        default=0.5,
+        help="skip baseline entries faster than this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    base = load_walls(args.baseline)
+    curr = load_walls(args.current)
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("compare_bench: no shared benchmarks; nothing to gate")
+        return 0
+
+    failures = []
+    width = max(len(n) for n in shared)
+    print(
+        f"{'benchmark':<{width}}  {'base s':>9}  {'curr s':>9}  "
+        f"{'ratio':>6}  status"
+    )
+    for name in shared:
+        b, c = base[name], curr[name]
+        ratio = c / b if b > 0 else float("inf")
+        if b < args.min_wall:
+            status = "skip (fast)"
+        elif ratio > 1.0 + args.max_regression:
+            status = "FAIL"
+            failures.append(name)
+        else:
+            status = "ok"
+        print(
+            f"{name:<{width}}  {b:>9.3f}  {c:>9.3f}  {ratio:>6.2f}  {status}"
+        )
+
+    only_base = sorted(set(base) - set(curr))
+    if only_base:
+        print(f"compare_bench: missing from current run: {only_base}")
+    if failures:
+        print(
+            f"compare_bench: {len(failures)} benchmark(s) regressed more "
+            f"than {args.max_regression:.0%}: {failures}"
+        )
+        return 1
+    print(
+        f"compare_bench: {len(shared)} shared benchmark(s) within "
+        f"{args.max_regression:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

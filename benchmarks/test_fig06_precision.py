@@ -19,13 +19,13 @@ WEIGHT_BITS = (2, 3, 4, 8)
 
 
 @pytest.fixture(scope="module")
-def study():
+def study(fig6_reference):
+    # The trained reference comes from the session-scoped artifact-
+    # cache fixture, so warm runs skip the ~18 s retrain entirely.
     return precision_study(
         input_bit_range=INPUT_BITS,
         weight_bit_range=WEIGHT_BITS,
-        n_train=5000,
-        n_test=800,
-        epochs=10,
+        reference=fig6_reference,
     )
 
 

@@ -564,11 +564,15 @@ class PrimeExecutor:
         bound = 1
         xbar_rows = tiles[0][0].params.rows
         for rb, tile_row in enumerate(tiles):
+            # Engines in one tile row share the same input rows, so the
+            # whole row calibrates with a single matmul against the
+            # horizontally stacked programmed weights.
             r0 = rb * xbar_rows
-            for engine in tile_row:
-                block = sample[:, r0 : r0 + engine.rows_used]
-                ideal = block @ engine.programmed_weights
-                bound = max(bound, int(np.max(np.abs(ideal))))
+            block = sample[:, r0 : r0 + tile_row[0].rows_used]
+            row_weights = np.hstack(
+                [engine.programmed_weights for engine in tile_row]
+            )
+            bound = max(bound, int(np.max(np.abs(block @ row_weights))))
         return max(0, bound.bit_length() - po)
 
     @staticmethod

@@ -13,10 +13,13 @@ variation, and read noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import WorkloadError
+from repro.perf.parallel import parallel_map
 from repro.crossbar.array import ArrayMode
 from repro.crossbar.pair import DifferentialPair
 from repro.params.crossbar import CrossbarParams
@@ -87,30 +90,31 @@ def measure_enob(
     rng = np.random.default_rng(seed)
     device_rng = np.random.default_rng(seed + 1)
     level_max = device.mlc_levels - 1
-    signals = []
-    errors = []
-    for _ in range(trials):
-        # real-valued weights in [-1, 1] quantised onto cell levels
-        w_true = rng.uniform(-1.0, 1.0, (rows, cols))
-        levels = np.rint(w_true * level_max).astype(np.int64)
+    # Batched per-trial draws: all weight matrices and input vectors
+    # come from two vectorised calls instead of 2×trials small ones.
+    # real-valued weights in [-1, 1] quantised onto cell levels
+    w_true = rng.uniform(-1.0, 1.0, (trials, rows, cols))
+    levels = np.rint(w_true * level_max).astype(np.int64)
+    # full-precision inputs: continuous voltages in [0, 1]
+    codes = np.rint(
+        rng.random((trials, rows)) * (params.input_levels - 1)
+    ).astype(np.int64)
+    # The reference is the *real-valued* dot product, so the error
+    # folds in weight quantisation + variation + read noise — the
+    # quantities the DPE experiment combines.
+    ideal = np.einsum(
+        "tr,trc->tc", codes.astype(np.float64), w_true * level_max
+    )
+    errors = np.empty_like(ideal)
+    # Programming consumes device_rng state trial by trial, so the
+    # pair loop stays sequential (and deterministic in trial order).
+    for t in range(trials):
         pair = DifferentialPair(params, rng=device_rng)
         pair.set_mode(ArrayMode.COMPUTE)
-        pair.program_signed_levels(levels)
-        # full-precision inputs: continuous voltages in [0, 1]
-        a = rng.random(rows)
-        codes = a * (params.input_levels - 1)
-        analog = pair.analog_mvm_counts(
-            np.rint(codes).astype(np.int64), with_noise=True
-        )
-        # The reference is the *real-valued* dot product, so the error
-        # folds in weight quantisation + variation + read noise — the
-        # quantities the DPE experiment combines.
-        ideal = np.rint(codes) @ (w_true * level_max)
-        signals.append(ideal)
-        errors.append(analog - ideal)
-    return effective_output_bits(
-        np.concatenate(signals), np.concatenate(errors)
-    )
+        pair.program_signed_levels(levels[t])
+        analog = pair.analog_mvm_counts(codes[t], with_noise=True)
+        errors[t] = analog - ideal[t]
+    return effective_output_bits(ideal.ravel(), errors.ravel())
 
 
 def dpe_study(
@@ -118,6 +122,7 @@ def dpe_study(
     rows: int = 256,
     trials: int = 16,
     seed: int = 0,
+    workers: int | None = None,
 ) -> DpeStudyResult:
     """Sweep cell precision and record the effective output bits.
 
@@ -125,10 +130,21 @@ def dpe_study(
     effective output precision rises with cell precision roughly a bit
     per bit until analog non-idealities flatten the curve in the 6-7
     bit region.
+
+    Each precision point is a pure function of ``(weight_bits, rows,
+    trials, seed)``, so the sweep fans out over ``workers`` processes
+    (default: ``PRIME_WORKERS``) with results bit-identical to the
+    serial loop.
     """
     result = DpeStudyResult(rows=rows, trials=trials)
-    for wb in weight_bit_range:
-        result.enob[wb] = measure_enob(
-            wb, rows=rows, trials=trials, seed=seed
+    with telemetry.span(
+        "eval.dpe_study", points=len(weight_bit_range), trials=trials
+    ):
+        values = parallel_map(
+            partial(measure_enob, rows=rows, trials=trials, seed=seed),
+            tuple(weight_bit_range),
+            workers=workers,
         )
+    for wb, enob in zip(weight_bit_range, values):
+        result.enob[wb] = enob
     return result

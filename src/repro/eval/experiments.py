@@ -17,6 +17,7 @@ Figure 12 area overhead
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -25,14 +26,28 @@ from repro.baselines.cpu import CpuModel
 from repro.baselines.npu import NpuCoProcessorModel, NpuPimModel
 from repro.core.compiler import PrimeCompiler
 from repro.core.executor import PrimeExecutor
+from repro.errors import WorkloadError
 from repro.eval.workloads import MLBENCH_ORDER, get_workload
 from repro.params.area import AreaModel, DEFAULT_AREA_MODEL
 from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.perf.parallel import parallel_map
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geometric mean of positive values."""
-    arr = np.asarray(values, dtype=np.float64)
+    """Geometric mean of positive values.
+
+    Raises :class:`WorkloadError` on empty input or non-positive /
+    non-finite values instead of letting ``np.log`` emit warnings and
+    propagate NaN through a figure.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise WorkloadError("geometric mean of an empty sequence")
+    if np.any(~np.isfinite(arr)) or np.any(arr <= 0.0):
+        raise WorkloadError(
+            "geometric mean requires positive finite values, got "
+            f"{arr.tolist()}"
+        )
     return float(np.exp(np.mean(np.log(arr))))
 
 
@@ -64,34 +79,47 @@ class SystemComparison:
         }
 
 
+def _workload_reports(
+    name: str, batch: int, config: PrimeConfig
+) -> tuple[str, dict[str, ExecutionReport]]:
+    """All systems' reports for one workload (a picklable pool task)."""
+    topology = get_workload(name).topology()
+    plan = PrimeCompiler(config).compile(topology)
+    return name, {
+        "CPU": CpuModel().estimate(topology, batch),
+        "pNPU-co": NpuCoProcessorModel().estimate(topology, batch),
+        "pNPU-pim-x1": NpuPimModel(instances=1).estimate(topology, batch),
+        "pNPU-pim-x64": NpuPimModel(instances=64).estimate(
+            topology, batch
+        ),
+        "PRIME": PrimeExecutor(config).estimate(plan, batch),
+    }
+
+
 def run_all_systems(
     batch: int = 4096,
     config: PrimeConfig = DEFAULT_PRIME_CONFIG,
     workloads: tuple[str, ...] = MLBENCH_ORDER,
+    workers: int | None = None,
 ) -> SystemComparison:
     """Evaluate every workload on every system (Figs. 8-11 substrate).
 
     ``batch`` is large by default: the paper assumes each configured NN
     "will be executed tens of thousands of times", so steady-state
     throughput (with bank-level parallelism) is the figure of merit.
+
+    Workloads are independent analytical estimates, so they fan out
+    over ``workers`` processes (default: ``PRIME_WORKERS``); the
+    reports are deterministic either way.
     """
-    cpu = CpuModel()
-    co = NpuCoProcessorModel()
-    pim1 = NpuPimModel(instances=1)
-    pim64 = NpuPimModel(instances=64)
-    compiler = PrimeCompiler(config)
-    executor = PrimeExecutor(config)
     comparison = SystemComparison(batch=batch)
-    for name in workloads:
-        topology = get_workload(name).topology()
-        plan = compiler.compile(topology)
-        comparison.reports[name] = {
-            "CPU": cpu.estimate(topology, batch),
-            "pNPU-co": co.estimate(topology, batch),
-            "pNPU-pim-x1": pim1.estimate(topology, batch),
-            "pNPU-pim-x64": pim64.estimate(topology, batch),
-            "PRIME": executor.estimate(plan, batch),
-        }
+    comparison.reports.update(
+        parallel_map(
+            partial(_workload_reports, batch=batch, config=config),
+            tuple(workloads),
+            workers=workers,
+        )
+    )
     return comparison
 
 
@@ -111,10 +139,12 @@ class Figure8Result:
 
 
 def figure8(
-    batch: int = 4096, config: PrimeConfig = DEFAULT_PRIME_CONFIG
+    batch: int = 4096,
+    config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+    workers: int | None = None,
 ) -> Figure8Result:
     """Speedups over the CPU-only baseline (Fig. 8)."""
-    comparison = run_all_systems(batch=batch, config=config)
+    comparison = run_all_systems(batch=batch, config=config, workers=workers)
     systems = ("pNPU-co", "pNPU-pim-x1", "pNPU-pim-x64", "PRIME")
     speedups = {
         system: comparison.speedups_over_cpu(system) for system in systems
@@ -197,14 +227,16 @@ class Figure10Result:
 
 
 def figure10(
-    batch: int = 4096, config: PrimeConfig = DEFAULT_PRIME_CONFIG
+    batch: int = 4096,
+    config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+    workers: int | None = None,
 ) -> Figure10Result:
     """Energy savings over the CPU-only baseline (Fig. 10).
 
     pNPU-pim-x1 is omitted exactly as in the paper: its energy equals
     pNPU-pim-x64's (same work, same technology).
     """
-    comparison = run_all_systems(batch=batch, config=config)
+    comparison = run_all_systems(batch=batch, config=config, workers=workers)
     systems = ("pNPU-co", "pNPU-pim-x64", "PRIME")
     savings = {
         system: comparison.energy_savings_over_cpu(system)
@@ -240,10 +272,12 @@ class Figure11Result:
 
 
 def figure11(
-    batch: int = 4096, config: PrimeConfig = DEFAULT_PRIME_CONFIG
+    batch: int = 4096,
+    config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+    workers: int | None = None,
 ) -> Figure11Result:
     """Energy breakdown into computation / buffer / memory (Fig. 11)."""
-    comparison = run_all_systems(batch=batch, config=config)
+    comparison = run_all_systems(batch=batch, config=config, workers=workers)
     breakdown: dict[str, dict[str, dict[str, float]]] = {}
     for name in MLBENCH_ORDER:
         reports = comparison.reports[name]

@@ -11,19 +11,31 @@ This module reproduces the study on the synthetic digit dataset (the
 offline MNIST substitute): a LeNet-style CNN (the CNN-1 topology) is
 trained in float, then evaluated with per-layer quantised inputs and
 weights across the precision grid.
+
+Performance shape: the quantised forward pass is *purely functional*
+(explicit weight/bias arguments via ``Layer.forward_with``; nothing is
+mutated and restored), weights are quantised once per ``weight_bits``
+value and shared across the whole input-bits sweep, the trained
+reference network is served from the :mod:`repro.perf.cache` artifact
+cache, and the grid fans out one task per weight-bits row through
+:func:`repro.perf.parallel.parallel_map` — with results bit-identical
+to the serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import WorkloadError
 from repro.eval.workloads import get_workload
 from repro.nn.datasets import synthetic_mnist
 from repro.nn.layers import Conv2D, Dense
 from repro.nn.network import Sequential
+from repro.perf.parallel import parallel_map
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
 
 
@@ -80,11 +92,41 @@ def train_reference_network(
     return net, x_test, y_test
 
 
+def quantize_network_weights(
+    net: Sequential, weight_bits: int
+) -> list[tuple[np.ndarray, np.ndarray] | None]:
+    """Per-layer quantised ``(weight, bias)`` for every weight layer.
+
+    Entries align with ``net.layers``; non-weight layers map to
+    ``None``.  Quantising once here and reusing the arrays across an
+    input-bits sweep replaces the old per-grid-point quantise /
+    mutate / restore cycle.
+    """
+    if weight_bits < 2:
+        raise WorkloadError("weight_bits must be >= 2 (sign bit)")
+    quantized: list[tuple[np.ndarray, np.ndarray] | None] = []
+    for layer in net.layers:
+        if isinstance(layer, (Dense, Conv2D)):
+            w_fmt = DynamicFixedPoint.for_data(
+                layer.weight, bits=weight_bits
+            )
+            b_fmt = DynamicFixedPoint.for_data(
+                layer.bias, bits=weight_bits
+            )
+            quantized.append(
+                (w_fmt.quantize(layer.weight), b_fmt.quantize(layer.bias))
+            )
+        else:
+            quantized.append(None)
+    return quantized
+
+
 def quantized_forward(
     net: Sequential,
     x: np.ndarray,
     input_bits: int,
     weight_bits: int,
+    quantized: list[tuple[np.ndarray, np.ndarray] | None] | None = None,
 ) -> np.ndarray:
     """Forward pass with per-layer dynamic-fixed-point quantisation.
 
@@ -92,33 +134,29 @@ def quantized_forward(
     re-quantised to ``input_bits`` unsigned dynamic fixed point, and
     that layer's weights and biases are quantised to ``weight_bits``
     signed dynamic fixed point — the paper's evaluation protocol.
+
+    The pass is purely functional: quantised parameters are computed
+    (or taken from ``quantized``, the output of
+    :func:`quantize_network_weights`, when sweeping many input
+    precisions at one weight precision) and applied via
+    ``Layer.forward_with`` without ever touching the layer's own
+    arrays, so a single network object is safe to share across threads
+    and worker processes.
     """
     if input_bits < 1 or weight_bits < 2:
         raise WorkloadError(
             "input_bits must be >= 1 and weight_bits >= 2 (sign bit)"
         )
+    if quantized is None:
+        quantized = quantize_network_weights(net, weight_bits)
     act = np.asarray(x, dtype=np.float64)
-    for layer in net.layers:
-        if isinstance(layer, (Dense, Conv2D)):
+    for layer, qparams in zip(net.layers, quantized):
+        if qparams is not None:
             in_fmt = DynamicFixedPoint.for_data(
                 act, bits=input_bits, signed=False
             )
             act = in_fmt.quantize(np.clip(act, 0.0, None))
-            w_fmt = DynamicFixedPoint.for_data(
-                layer.weight, bits=weight_bits
-            )
-            b_fmt = DynamicFixedPoint.for_data(
-                layer.bias, bits=weight_bits
-            )
-            original_w = layer.weight.copy()
-            original_b = layer.bias.copy()
-            layer.weight[...] = w_fmt.quantize(layer.weight)
-            layer.bias[...] = b_fmt.quantize(layer.bias)
-            try:
-                act = layer.forward(act)
-            finally:
-                layer.weight[...] = original_w
-                layer.bias[...] = original_b
+            act = layer.forward_with(act, qparams[0], qparams[1])
         else:
             act = layer.forward(act)
     return act
@@ -130,10 +168,42 @@ def quantized_accuracy(
     y: np.ndarray,
     input_bits: int,
     weight_bits: int,
+    quantized: list[tuple[np.ndarray, np.ndarray] | None] | None = None,
 ) -> float:
     """Classification accuracy of the quantised forward pass."""
-    logits = quantized_forward(net, x, input_bits, weight_bits)
+    logits = quantized_forward(
+        net, x, input_bits, weight_bits, quantized=quantized
+    )
     return float(np.mean(np.argmax(logits, axis=-1) == y))
+
+
+#: Per-process state for grid workers: the shared reference network and
+#: evaluation split, shipped once per worker instead of once per task.
+_GRID_STATE: dict = {}
+
+
+def _init_grid_worker(
+    net: Sequential, x_test: np.ndarray, y_test: np.ndarray
+) -> None:
+    """Worker initializer: unpickle the trained net once per process."""
+    _GRID_STATE["net"] = net
+    _GRID_STATE["x"] = x_test
+    _GRID_STATE["y"] = y_test
+
+
+def _precision_row(
+    weight_bits: int, input_bit_range: tuple[int, ...]
+) -> dict[tuple[int, int], float]:
+    """One grid row: every input precision at one weight precision."""
+    net = _GRID_STATE["net"]
+    x, y = _GRID_STATE["x"], _GRID_STATE["y"]
+    quantized = quantize_network_weights(net, weight_bits)
+    return {
+        (ib, weight_bits): quantized_accuracy(
+            net, x, y, ib, weight_bits, quantized=quantized
+        )
+        for ib in input_bit_range
+    }
 
 
 def precision_study(
@@ -144,17 +214,48 @@ def precision_study(
     n_test: int = 800,
     epochs: int = 10,
     seed: int = 7,
+    reference: tuple[Sequential, np.ndarray, np.ndarray] | None = None,
+    workers: int | None = None,
+    use_cache: bool = True,
 ) -> PrecisionStudyResult:
-    """Regenerate the Figure 6 grid."""
-    net, x_test, y_test = train_reference_network(
-        workload, n_train=n_train, n_test=n_test, epochs=epochs, seed=seed
-    )
+    """Regenerate the Figure 6 grid.
+
+    ``reference`` supplies a pre-trained ``(net, x_test, y_test)``
+    triple (e.g. a shared benchmark fixture); otherwise the reference
+    network comes from the artifact cache (``use_cache=True``) or a
+    fresh training run.  ``workers`` fans the weight-bits rows out
+    across processes (default: ``PRIME_WORKERS``); parallel grids are
+    bit-identical to serial ones.
+    """
+    if reference is not None:
+        net, x_test, y_test = reference
+    elif use_cache:
+        from repro.perf.cache import reference_network
+
+        net, x_test, y_test = reference_network(
+            workload, n_train=n_train, n_test=n_test, epochs=epochs,
+            seed=seed,
+        )
+    else:
+        net, x_test, y_test = train_reference_network(
+            workload, n_train=n_train, n_test=n_test, epochs=epochs,
+            seed=seed,
+        )
     result = PrecisionStudyResult(
         float_accuracy=net.accuracy(x_test, y_test)
     )
-    for wb in weight_bit_range:
-        for ib in input_bit_range:
-            result.grid[(ib, wb)] = quantized_accuracy(
-                net, x_test, y_test, ib, wb
-            )
+    with telemetry.span(
+        "eval.precision_study",
+        workload=workload,
+        points=len(input_bit_range) * len(weight_bit_range),
+    ):
+        rows = parallel_map(
+            partial(_precision_row, input_bit_range=tuple(input_bit_range)),
+            tuple(weight_bit_range),
+            workers=workers,
+            initializer=_init_grid_worker,
+            initargs=(net, x_test, y_test),
+        )
+    for row in rows:
+        result.grid.update(row)
     return result

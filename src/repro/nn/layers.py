@@ -78,6 +78,17 @@ class Dense(Layer):
             self._x = x
         return x @ self.weight + self.bias
 
+    def forward_with(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+    ) -> np.ndarray:
+        """Forward pass with explicit parameters.
+
+        Pure: the layer's own weights and backward caches are
+        untouched, so quantised/perturbed evaluations can share one
+        layer object across threads and processes.
+        """
+        return x @ weight + bias
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise WorkloadError("backward before forward(training=True)")
@@ -153,7 +164,8 @@ class Conv2D(Layer):
         self._cols: np.ndarray | None = None
         self._in_shape: tuple[int, ...] | None = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def _columns(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        """Validate, pad, and im2col ``x``; returns (cols, padded shape)."""
         if x.ndim != 4 or x.shape[3] != self.in_channels:
             raise WorkloadError(
                 f"conv expects (B, H, W, {self.in_channels}), got {x.shape}"
@@ -161,12 +173,23 @@ class Conv2D(Layer):
         if self.pad:
             p = self.pad
             x = np.pad(x, ((0, 0), (p, p), (p, p), (0, 0)))
-        cols, oh, ow = _im2col(x, self.kernel, stride=1)
+        cols, _, _ = _im2col(x, self.kernel, stride=1)
+        return cols, x.shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, padded_shape = self._columns(x)
         out = cols @ self.weight + self.bias
         if training:
             self._cols = cols
-            self._in_shape = x.shape  # padded shape
+            self._in_shape = padded_shape
         return out
+
+    def forward_with(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray
+    ) -> np.ndarray:
+        """Forward pass with explicit parameters (pure, no caching)."""
+        cols, _ = self._columns(x)
+        return cols @ weight + bias
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cols is None or self._in_shape is None:

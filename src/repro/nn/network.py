@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -122,13 +124,26 @@ class Sequential:
                 )
             p[...] = w
 
-    def save_npz(self, path: str) -> None:
+    def save_npz(self, path: str | Path) -> None:
         """Persist weights to an .npz file."""
         arrays = {f"w{i}": w for i, w in enumerate(self.get_weights())}
         np.savez(path, **arrays)
 
-    def load_npz(self, path: str) -> None:
+    def load_npz(self, path: str | Path) -> None:
         """Load weights saved by :meth:`save_npz`."""
         with np.load(path) as data:
             weights = [data[f"w{i}"] for i in range(len(data.files))]
         self.set_weights(weights)
+
+    def weights_fingerprint(self) -> str:
+        """SHA-256 over every parameter's shape and bytes.
+
+        Two networks with identical parameters (e.g. an original and
+        its cache round-trip) share a fingerprint; any single changed
+        value changes it.
+        """
+        h = hashlib.sha256()
+        for w in self.get_weights():
+            h.update(str(w.shape).encode("utf-8"))
+            h.update(np.ascontiguousarray(w).tobytes())
+        return h.hexdigest()

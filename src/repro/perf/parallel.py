@@ -1,0 +1,137 @@
+"""Deterministic process-parallel experiment runner.
+
+:func:`parallel_map` is the single fan-out primitive of the eval
+stack: an order-preserving map over a task list, executed on a
+``ProcessPoolExecutor`` with chunked submission, or serially when
+parallelism is off (``PRIME_WORKERS`` unset or ``1``) or no pool can
+be created (sandboxes without fork, nested pools).
+
+Correctness contract: tasks must be *pure functions of their
+arguments*.  Anything stochastic takes an explicit per-task seed
+(:func:`task_seed` derives independent ones deterministically), so a
+parallel run is bit-identical to the serial path regardless of worker
+count or scheduling — the property the ``tests/perf`` suite asserts
+for the precision grid and the ENOB sweep.
+
+Shared read-only state (e.g. a trained network) travels once per
+worker through ``initializer``/``initargs`` rather than once per task;
+the serial path calls the initializer in-process so both paths see the
+same state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+
+logger = logging.getLogger("repro.perf")
+
+#: Target chunks per worker: small enough to balance uneven tasks,
+#: large enough to amortise pickling.
+_CHUNKS_PER_WORKER = 4
+
+
+def worker_count(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    An explicit ``workers`` argument wins; otherwise ``PRIME_WORKERS``
+    decides, and an unset environment means serial (1) — experiments
+    opt into fan-out rather than surprising test suites with process
+    pools.
+    """
+    if workers is None:
+        env = os.environ.get("PRIME_WORKERS", "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"PRIME_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return max(1, int(workers))
+
+
+def chunk_size(n_tasks: int, workers: int) -> int:
+    """Chunked-submission size for ``n_tasks`` over ``workers``."""
+    if n_tasks < 1 or workers < 1:
+        raise ConfigurationError("task and worker counts must be positive")
+    return max(1, math.ceil(n_tasks / (workers * _CHUNKS_PER_WORKER)))
+
+
+def task_seed(base_seed: int, *key: object) -> int:
+    """A deterministic, well-separated seed for one task.
+
+    Hashes ``(base_seed, *key)`` so per-task streams are independent of
+    task order and worker assignment — the same task always gets the
+    same seed, serially or in any pool.
+    """
+    blob = repr((int(base_seed),) + key).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
+
+
+def _serial_map(
+    fn: Callable,
+    tasks: Sequence,
+    initializer: Callable | None,
+    initargs: tuple,
+) -> list:
+    if initializer is not None:
+        initializer(*initargs)
+    return [fn(task) for task in tasks]
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Iterable,
+    workers: int | None = None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+    chunksize: int | None = None,
+) -> list:
+    """Map ``fn`` over ``tasks``, possibly across worker processes.
+
+    ``fn``, ``initializer``, and every task must be picklable
+    (module-level functions / plain data).  Results come back in task
+    order.  Any failure to *run the pool* (fork unavailable, broken
+    workers, unpicklable payloads) falls back to the serial path; an
+    exception raised by ``fn`` itself propagates unchanged.
+    """
+    tasks = list(tasks)
+    n = min(worker_count(workers), max(len(tasks), 1))
+    if n <= 1 or len(tasks) <= 1:
+        return _serial_map(fn, tasks, initializer, initargs)
+    cs = chunksize if chunksize is not None else chunk_size(len(tasks), n)
+    try:
+        with telemetry.span(
+            "perf.parallel_map", tasks=len(tasks), workers=n, chunksize=cs
+        ):
+            with ProcessPoolExecutor(
+                max_workers=n, initializer=initializer, initargs=initargs
+            ) as pool:
+                results = list(pool.map(fn, tasks, chunksize=cs))
+        telemetry.count("perf.parallel.tasks", len(tasks))
+        telemetry.gauge("perf.parallel.workers", n)
+        return results
+    except (
+        OSError,
+        AttributeError,
+        BrokenProcessPool,
+        pickle.PicklingError,
+    ) as exc:
+        logger.warning(
+            "process pool unavailable (%s: %s); running serially",
+            type(exc).__name__,
+            exc,
+        )
+        telemetry.count("perf.parallel.fallback")
+        return _serial_map(fn, tasks, initializer, initargs)

@@ -1,0 +1,144 @@
+"""Tests for the content-addressed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.perf import cache as perf_cache
+from repro.perf.cache import (
+    ArtifactCache,
+    code_fingerprint,
+    mapping_plan,
+    reference_network,
+    reference_network_key,
+    stable_key,
+)
+
+#: Cheap training configuration shared by the round-trip tests.
+TRAIN_KW = dict(workload="MLP-S", n_train=300, n_test=60, epochs=1, seed=11)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def metrics():
+    """An enabled telemetry session, restored to disabled afterwards."""
+    session = telemetry.enable()
+    yield session
+    telemetry.disable()
+
+
+class TestKeying:
+    def test_stable_key_deterministic_and_order_insensitive(self):
+        a = stable_key({"x": 1, "y": "two"})
+        b = stable_key({"y": "two", "x": 1})
+        assert a == b
+        assert a == stable_key({"x": 1, "y": "two"})
+
+    def test_stable_key_distinguishes_payloads(self):
+        assert stable_key({"x": 1}) != stable_key({"x": 2})
+
+    def test_code_fingerprint_depends_on_module_set(self):
+        one = code_fingerprint("repro.nn.network")
+        two = code_fingerprint("repro.nn.network", "repro.nn.layers")
+        assert one == code_fingerprint("repro.nn.network")
+        assert one != two
+
+    def test_every_key_component_moves_the_entry(self, cache):
+        base = reference_network_key("MLP-S", 300, 60, 1, 11)
+        variants = [
+            reference_network_key("MLP-M", 300, 60, 1, 11),
+            reference_network_key("MLP-S", 301, 60, 1, 11),
+            reference_network_key("MLP-S", 300, 61, 1, 11),
+            reference_network_key("MLP-S", 300, 60, 2, 11),
+            reference_network_key("MLP-S", 300, 60, 1, 12),
+        ]
+        dirs = {
+            cache.entry_dir("reference_network", key)
+            for key in [base, *variants]
+        }
+        assert len(dirs) == len(variants) + 1
+
+
+class TestReferenceNetworkRoundTrip:
+    def test_miss_trains_then_hit_reloads_identically(
+        self, cache, metrics
+    ):
+        net1, x1, y1 = reference_network(cache=cache, **TRAIN_KW)
+        assert (
+            telemetry.counter_value(
+                "perf.cache.miss", kind="reference_network"
+            )
+            == 1
+        )
+        net2, x2, y2 = reference_network(cache=cache, **TRAIN_KW)
+        assert (
+            telemetry.counter_value(
+                "perf.cache.hit", kind="reference_network"
+            )
+            == 1
+        )
+        assert net1.weights_fingerprint() == net2.weights_fingerprint()
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_changed_seed_misses_again(self, cache, metrics):
+        reference_network(cache=cache, **TRAIN_KW)
+        other = dict(TRAIN_KW, seed=TRAIN_KW["seed"] + 1)
+        net_a, _, _ = reference_network(cache=cache, **other)
+        assert (
+            telemetry.counter_value(
+                "perf.cache.miss", kind="reference_network"
+            )
+            == 2
+        )
+        net_b, _, _ = reference_network(cache=cache, **TRAIN_KW)
+        assert net_a.weights_fingerprint() != net_b.weights_fingerprint()
+
+    def test_corrupt_entry_is_evicted_and_retrained(self, cache):
+        net1, _, _ = reference_network(cache=cache, **TRAIN_KW)
+        key = reference_network_key(
+            TRAIN_KW["workload"],
+            TRAIN_KW["n_train"],
+            TRAIN_KW["n_test"],
+            TRAIN_KW["epochs"],
+            TRAIN_KW["seed"],
+        )
+        entry = cache.entry_dir("reference_network", key)
+        (entry / "weights.npz").write_bytes(b"not an npz")
+        net2, _, _ = reference_network(cache=cache, **TRAIN_KW)
+        assert net1.weights_fingerprint() == net2.weights_fingerprint()
+        # the rebuilt entry serves hits again
+        net3, _, _ = reference_network(cache=cache, **TRAIN_KW)
+        assert net3.weights_fingerprint() == net1.weights_fingerprint()
+
+    def test_disable_bypasses_storage(self, cache):
+        perf_cache.disable()
+        try:
+            assert not perf_cache.active()
+            reference_network(cache=cache, **TRAIN_KW)
+            assert not list(cache.root.rglob("meta.json"))
+        finally:
+            perf_cache.enable()
+        assert perf_cache.active()
+
+
+class TestMappingPlanRoundTrip:
+    def test_round_trip_is_equal(self, cache, metrics):
+        plan1 = mapping_plan("MLP-S", cache=cache)
+        plan2 = mapping_plan("MLP-S", cache=cache)
+        assert (
+            telemetry.counter_value("perf.cache.hit", kind="mapping_plan")
+            == 1
+        )
+        assert plan2 == plan1
+
+    def test_workloads_do_not_collide(self, cache):
+        plan_s = mapping_plan("MLP-S", cache=cache)
+        plan_m = mapping_plan("MLP-M", cache=cache)
+        assert plan_s.workload == "MLP-S"
+        assert plan_m.workload == "MLP-M"
+        assert mapping_plan("MLP-S", cache=cache) == plan_s

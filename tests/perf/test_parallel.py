@@ -1,0 +1,132 @@
+"""Tests for the parallel experiment runner.
+
+The acceptance bar is bit-identity: a parallel run must produce exactly
+the same numbers as the serial run at the same seeds, so every fan-out
+below is compared against ``workers=1`` with plain ``==`` /
+``array_equal``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval.dpe_study import dpe_study
+from repro.eval.experiments import run_all_systems
+from repro.eval.precision_study import (
+    precision_study,
+    train_reference_network,
+)
+from repro.perf.parallel import (
+    chunk_size,
+    parallel_map,
+    task_seed,
+    worker_count,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+_INIT_CALLS: list[tuple] = []
+
+
+def _record_init(tag: str) -> None:
+    _INIT_CALLS.append((tag,))
+
+
+class TestWorkerCount:
+    def test_defaults_to_serial_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv("PRIME_WORKERS", raising=False)
+        assert worker_count() == 1
+
+    def test_env_sets_count(self, monkeypatch):
+        monkeypatch.setenv("PRIME_WORKERS", "4")
+        assert worker_count() == 4
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("PRIME_WORKERS", "4")
+        assert worker_count(2) == 2
+
+    def test_env_one_means_serial(self, monkeypatch):
+        monkeypatch.setenv("PRIME_WORKERS", "1")
+        assert worker_count() == 1
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("PRIME_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            worker_count()
+
+
+class TestHelpers:
+    def test_chunk_size_bounds(self):
+        assert chunk_size(3, 4) == 1
+        assert chunk_size(160, 4) == 10
+        with pytest.raises(ConfigurationError):
+            chunk_size(0, 4)
+
+    def test_task_seed_deterministic_and_distinct(self):
+        assert task_seed(7, "enob", 3) == task_seed(7, "enob", 3)
+        seeds = {
+            task_seed(7, "enob", i) for i in range(32)
+        } | {task_seed(8, "enob", i) for i in range(32)}
+        assert len(seeds) == 64
+
+
+class TestParallelMap:
+    def test_matches_serial(self):
+        tasks = list(range(20))
+        serial = parallel_map(_square, tasks, workers=1)
+        fanned = parallel_map(_square, tasks, workers=2)
+        assert fanned == serial == [t * t for t in tasks]
+
+    def test_preserves_order(self):
+        tasks = list(range(50))
+        assert parallel_map(_square, tasks, workers=3) == [
+            t * t for t in tasks
+        ]
+
+    def test_initializer_runs_in_serial_path(self):
+        _INIT_CALLS.clear()
+        out = parallel_map(
+            _square,
+            [2, 3],
+            workers=1,
+            initializer=_record_init,
+            initargs=("serial",),
+        )
+        assert out == [4, 9]
+        assert _INIT_CALLS == [("serial",)]
+
+
+@pytest.fixture(scope="module")
+def tiny_reference():
+    return train_reference_network(
+        "MLP-S", n_train=400, n_test=80, epochs=2, seed=3
+    )
+
+
+class TestExperimentBitIdentity:
+    def test_precision_grid_parallel_equals_serial(self, tiny_reference):
+        kwargs = dict(
+            input_bit_range=(2, 4),
+            weight_bit_range=(2, 4),
+            reference=tiny_reference,
+        )
+        serial = precision_study(workers=1, **kwargs)
+        fanned = precision_study(workers=2, **kwargs)
+        assert fanned.grid == serial.grid
+        assert fanned.float_accuracy == serial.float_accuracy
+
+    def test_enob_parallel_equals_serial(self):
+        kwargs = dict(weight_bit_range=(2, 3), rows=64, trials=4, seed=5)
+        serial = dpe_study(workers=1, **kwargs)
+        fanned = dpe_study(workers=2, **kwargs)
+        assert fanned.enob == serial.enob
+
+    def test_run_all_systems_parallel_equals_serial(self):
+        kwargs = dict(batch=128, workloads=("CNN-1", "MLP-S"))
+        serial = run_all_systems(workers=1, **kwargs)
+        fanned = run_all_systems(workers=2, **kwargs)
+        assert fanned.reports == serial.reports
