@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import ExecutionError, MappingError
 from repro.core.compiler import PrimeCompiler
-from repro.core.executor import PrimeExecutor
+from repro.core.executor import PrimeExecutor, ProgrammedLayer
 from repro.core.mapping import MappingPlan
 from repro.memory.controller import (
     DatapathCommand,
@@ -129,7 +129,7 @@ class PrimeSession:
                     host, _ = self.bank.ff_subarrays[sub_idx].pair(pair_idx)
                     engines.append(host.engine)
                 tiles.append(engines)
-            self._programmed.append((tiles, w_fmt))
+            self._programmed.append(ProgrammedLayer(tiles, w_fmt))
         self.network = network
         self._used_subarrays = sorted(per_sub)
 

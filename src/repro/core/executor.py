@@ -14,6 +14,7 @@ Two complementary execution paths share one mapping plan:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.crossbar.engine import CrossbarMVMEngine
 from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, MeanPool2D
 from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.perf.kernels import FusedLayerKernel
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
 from repro.units import ns
 
@@ -34,6 +36,56 @@ T_MERGE_PER_BLOCK = 2.0 * ns
 #: Groups evaluated per analog round during 4:1 max pooling
 #: (min(256 rows / 4 candidates, 256 bitlines / 6 difference columns)).
 POOL_GROUPS_PER_ROUND = 42
+#: Samples used to freeze a layer's input format and SA output window.
+CALIBRATION_SAMPLES = 64
+#: Default streaming budget for functional activations (overridable
+#: via ``PRIME_FUNC_CHUNK_BYTES``).
+DEFAULT_CHUNK_BYTES = 256 * 1024 * 1024
+
+
+class ProgrammedLayer:
+    """One mapped weight layer's programmed state.
+
+    Bundles the engine tile grid with its weight format, the fused
+    layer kernel built over the grid, and the calibration frozen on
+    first use (input dynamic-fixed-point format + SA output shift), so
+    reusing a programmed plan across calls stops re-running
+    calibration.  Unpacks as the legacy ``(tiles, w_fmt)`` tuple.
+    """
+
+    def __init__(
+        self,
+        tiles: list[list[CrossbarMVMEngine]],
+        w_fmt: DynamicFixedPoint,
+    ) -> None:
+        self.tiles = tiles
+        self.w_fmt = w_fmt
+        self.in_fmt: DynamicFixedPoint | None = None
+        self.output_shift: int | None = None
+        self._kernel: FusedLayerKernel | None = None
+
+    @classmethod
+    def coerce(cls, entry) -> "ProgrammedLayer":
+        """Accept either a ProgrammedLayer or a ``(tiles, w_fmt)``."""
+        if isinstance(entry, cls):
+            return entry
+        tiles, w_fmt = entry
+        return cls(tiles, w_fmt)
+
+    def __iter__(self):
+        return iter((self.tiles, self.w_fmt))
+
+    @property
+    def kernel(self) -> FusedLayerKernel:
+        """Fused layer kernel over the tile grid (built lazily)."""
+        if self._kernel is None:
+            self._kernel = FusedLayerKernel(self.tiles)
+        return self._kernel
+
+    def reset_calibration(self) -> None:
+        """Forget the frozen input format and output shift."""
+        self.in_fmt = None
+        self.output_shift = None
 
 
 @dataclass
@@ -105,7 +157,7 @@ class PrimeExecutor:
             interbank_s, interbank_j = self._interbank_costs(plan)
             sample_latency += interbank_s
             stages.append(
-                ("bank_pipeline_stage", self._stage_bottleneck(plan, t_round))
+                ("bank_pipeline_stage", self._stage_bottleneck(plan, costs))
             )
 
         # Naive-serial ablation: FF subarrays reprogrammed per stage.
@@ -346,18 +398,20 @@ class PrimeExecutor:
         return time_s, energy_j
 
     def _stage_bottleneck(
-        self, plan: MappingPlan, t_round: float
+        self, plan: MappingPlan, costs: list[_LayerCosts]
     ) -> float:
-        """Slowest bank stage of a large-scale pipeline."""
-        worst = 0.0
-        for bank in range(plan.banks_used):
-            stage = sum(
-                self._layer_costs(m, t_round).latency_s
-                / max(m.copies, 1)
-                for m in plan.layers_on_bank(bank)
-            )
-            worst = max(worst, stage)
-        return worst
+        """Slowest bank stage of a large-scale pipeline.
+
+        ``costs`` is the per-layer cost list already computed for the
+        plan (aligned with ``plan.layers``); grouping it by bank here
+        avoids recomputing every layer's costs once per bank.
+        """
+        per_bank: dict[int, float] = {}
+        for mapping, c in zip(plan.layers, costs):
+            per_bank[mapping.bank] = per_bank.get(
+                mapping.bank, 0.0
+            ) + c.latency_s / max(mapping.copies, 1)
+        return max(per_bank.values(), default=0.0)
 
     def _reprogram_time(self, plan: MappingPlan) -> float:
         """Time to reprogram one bank's FF subarrays (naive-serial)."""
@@ -379,6 +433,7 @@ class PrimeExecutor:
         input_bits: int | None = None,
         weight_bits: int | None = None,
         programmed: list | None = None,
+        chunk_bytes: int | None = None,
     ) -> np.ndarray:
         """Run ``network`` through real crossbar engines.
 
@@ -388,35 +443,108 @@ class PrimeExecutor:
         :meth:`program_network`) reuses already-programmed engines —
         e.g. engines living inside real bank mats.  Returns the (float)
         output logits as computed by the quantised analog pipeline.
+
+        Each mapped layer evaluates through its fused layer kernel
+        (``PRIME_FUSED=0`` restores the per-engine tile walk), and the
+        batch streams in chunks sized so the widest layer's activations
+        stay under ``chunk_bytes`` (default ``PRIME_FUNC_CHUNK_BYTES``
+        or 256 MiB) — conv im2col never materialises the whole batch.
+        Per-layer calibration (input format and SA output window) is
+        frozen from the first ``CALIBRATION_SAMPLES`` samples and
+        cached on the programmed plan, so the first chunk always covers
+        the calibration prefix and chunked output equals unchunked
+        output for every chunk size.
         """
         xbar = self.config.crossbar
         pin = input_bits or xbar.effective_input_bits
         pw = weight_bits or xbar.effective_weight_bits
+        x = np.asarray(x, dtype=np.float64)
+        batch = int(x.shape[0])
         with telemetry.span(
             "executor.run_functional",
             workload=plan.workload,
-            batch=int(np.asarray(x).shape[0]),
+            batch=batch,
         ):
             if programmed is None:
                 programmed = self.program_network(
                     network, plan, rng=rng, pw=pw
                 )
+            layers = [ProgrammedLayer.coerce(p) for p in programmed]
+            chunk = self._chunk_samples(plan, batch, chunk_bytes)
+            if chunk >= batch:
+                out = self._forward_chunk(network, layers, x, pin, with_noise)
             else:
-                programmed = list(programmed)
-            act = np.asarray(x, dtype=np.float64)
-            for layer in network.layers:
-                if isinstance(layer, (Dense, Conv2D)):
-                    tiles, w_fmt = programmed.pop(0)
-                    with telemetry.span(
-                        "executor.layer", layer=type(layer).__name__
-                    ):
-                        act = self._run_weight_layer(
-                            layer, tiles, w_fmt, act, pin, with_noise
+                # The first chunk must contain the calibration prefix,
+                # or chunked and unchunked runs would freeze different
+                # input formats / output windows.
+                first = max(chunk, min(CALIBRATION_SAMPLES, batch))
+                pieces = []
+                start = 0
+                while start < batch:
+                    size = first if start == 0 else chunk
+                    pieces.append(
+                        self._forward_chunk(
+                            network,
+                            layers,
+                            x[start : start + size],
+                            pin,
+                            with_noise,
                         )
-                else:
-                    act = layer.forward(act)
+                    )
+                    start += size
+                out = np.concatenate(pieces, axis=0)
             telemetry.count("executor.functional_runs")
-            return act
+            return out
+
+    def _forward_chunk(
+        self,
+        network: Sequential,
+        layers: list[ProgrammedLayer],
+        act: np.ndarray,
+        pin: int,
+        with_noise: bool,
+    ) -> np.ndarray:
+        """One chunk's pass through the whole network."""
+        idx = 0
+        for layer in network.layers:
+            if isinstance(layer, (Dense, Conv2D)):
+                programmed = layers[idx]
+                idx += 1
+                with telemetry.span(
+                    "executor.layer", layer=type(layer).__name__
+                ):
+                    act = self._run_weight_layer(
+                        layer, programmed, act, pin, with_noise
+                    )
+            else:
+                act = layer.forward(act)
+        return act
+
+    def _chunk_samples(
+        self, plan: MappingPlan, batch: int, chunk_bytes: int | None
+    ) -> int:
+        """Samples per streaming chunk under the memory budget.
+
+        Sized from the widest mapped layer's per-sample footprint
+        (im2col vectors, drive-phase stacks, and outputs in float64);
+        ``chunk_bytes <= 0`` disables streaming.
+        """
+        if chunk_bytes is None:
+            env = os.environ.get("PRIME_FUNC_CHUNK_BYTES")
+            chunk_bytes = int(env) if env else DEFAULT_CHUNK_BYTES
+        if chunk_bytes <= 0:
+            return batch
+        per_sample = max(
+            (
+                8
+                * max(m.traffic.reuse, 1)
+                * (m.rows + 1 + m.cols)
+                * 4
+                for m in plan.weight_layers
+            ),
+            default=1,
+        )
+        return max(1, min(batch, chunk_bytes // per_sample))
 
     def quantize_layer_matrices(
         self,
@@ -475,8 +603,14 @@ class PrimeExecutor:
         plan: MappingPlan,
         rng: np.random.Generator | None = None,
         pw: int | None = None,
-    ) -> list[tuple[list[list[CrossbarMVMEngine]], DynamicFixedPoint]]:
-        """Program every layer into fresh standalone engines."""
+    ) -> list[ProgrammedLayer]:
+        """Program every layer into fresh standalone engines.
+
+        Each entry is a :class:`ProgrammedLayer` (unpacks as the legacy
+        ``(tiles, w_fmt)`` tuple); reusing the list across
+        :meth:`run_functional` calls also reuses the fused kernels and
+        the frozen per-layer calibration.
+        """
         xbar = self.config.crossbar
         programmed = []
         with telemetry.span(
@@ -494,14 +628,13 @@ class PrimeExecutor:
                     engine = CrossbarMVMEngine(xbar, rng=rng)
                     engine.program(tile)
                     tiles[rb][cb] = engine
-                programmed.append((tiles, w_fmt))
+                programmed.append(ProgrammedLayer(tiles, w_fmt))
         return programmed
 
     def _run_weight_layer(
         self,
         layer: Layer,
-        tiles: list[list[CrossbarMVMEngine]],
-        w_fmt: DynamicFixedPoint,
+        programmed: ProgrammedLayer,
         act: np.ndarray,
         pin: int,
         with_noise: bool,
@@ -515,30 +648,42 @@ class PrimeExecutor:
         batch_vecs = np.concatenate(
             [vectors, np.ones((vectors.shape[0], 1))], axis=1
         )
-        in_fmt = DynamicFixedPoint.for_data(
-            batch_vecs, bits=pin, signed=False
+        kernel = programmed.kernel
+        if programmed.in_fmt is None:
+            # Freeze calibration on first use: the input format and SA
+            # output window come from the first CALIBRATION_SAMPLES
+            # samples' vectors (all of a sample's im2col vectors count
+            # as that sample).  Later chunks/batches reuse the frozen
+            # calibration; out-of-range activations saturate in
+            # quantize_int, as a fixed hardware reference would.
+            vecs_per_sample = (
+                batch_vecs.shape[0] // spatial[0] if spatial else 1
+            )
+            cal_rows = min(
+                batch_vecs.shape[0], CALIBRATION_SAMPLES * vecs_per_sample
+            )
+            programmed.in_fmt = DynamicFixedPoint.for_data(
+                batch_vecs[:cal_rows], bits=pin, signed=False
+            )
+            codes = programmed.in_fmt.quantize_int(
+                np.clip(batch_vecs, 0.0, None)
+            )
+            programmed.output_shift = kernel.calibrate_output_shift(
+                codes, calibration_samples=cal_rows
+            )
+        else:
+            codes = programmed.in_fmt.quantize_int(
+                np.clip(batch_vecs, 0.0, None)
+            )
+        outputs = kernel.mvm_batch(
+            codes,
+            with_noise=with_noise,
+            output_shift=programmed.output_shift,
         )
-        codes = in_fmt.quantize_int(np.clip(batch_vecs, 0.0, None))
-        xbar = self.config.crossbar
-        spec = tiles[0][0].spec
-        output_shift = self._calibrate_output_shift(tiles, codes, spec.po)
-        outputs = None
-        for rb, tile_row in enumerate(tiles):
-            r0 = rb * xbar.rows
-            cols_out = []
-            for engine in tile_row:
-                block = codes[:, r0 : r0 + engine.rows_used]
-                cols_out.append(
-                    engine.mvm_batch(
-                        block,
-                        with_noise=with_noise,
-                        output_shift=output_shift,
-                    )
-                )
-            row_result = np.concatenate(cols_out, axis=1)
-            outputs = row_result if outputs is None else outputs + row_result
         scale = (
-            (2.0 ** output_shift) * in_fmt.resolution * w_fmt.resolution
+            (2.0 ** programmed.output_shift)
+            * programmed.in_fmt.resolution
+            * programmed.w_fmt.resolution
         )
         result = outputs * scale
         if spatial is not None:

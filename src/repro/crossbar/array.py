@@ -92,6 +92,34 @@ class CrossbarArray:
 
     # -- compute mode -------------------------------------------------------
 
+    @property
+    def is_ideal(self) -> bool:
+        """True when the cell conductances are the exact linear mapping
+        of the programmed levels (no variation, faults, or IR drop), so
+        a noise-free MVM is a deterministic integer in the count
+        domain."""
+        return self.cells.is_ideal
+
+    def _checked_compute_inputs(
+        self, input_levels: np.ndarray, op: str
+    ) -> np.ndarray:
+        """Shared compute-mode + input-range validation for MVM entry
+        points."""
+        self._require(ArrayMode.COMPUTE, op)
+        input_levels = np.asarray(input_levels)
+        if input_levels.shape[-1] != self.params.rows:
+            raise CrossbarError(
+                f"expected {self.params.rows} inputs, got "
+                f"{input_levels.shape[-1]}"
+            )
+        if np.any(input_levels < 0) or np.any(
+            input_levels >= self.params.input_levels
+        ):
+            raise CrossbarError(
+                f"input levels outside [0, {self.params.input_levels})"
+            )
+        return input_levels
+
     def program_weight_levels(self, levels: np.ndarray) -> None:
         """Program the full array with MLC synapse levels (compute mode)."""
         self._require(ArrayMode.COMPUTE, "program_weight_levels")
@@ -119,19 +147,9 @@ class CrossbarArray:
         domain); use :meth:`baseline_counts` to remove it for a single
         array, or subtract a paired array's counts.
         """
-        self._require(ArrayMode.COMPUTE, "analog_mvm_counts")
-        input_levels = np.asarray(input_levels)
-        if input_levels.shape[-1] != self.params.rows:
-            raise CrossbarError(
-                f"expected {self.params.rows} inputs, got "
-                f"{input_levels.shape[-1]}"
-            )
-        if np.any(input_levels < 0) or np.any(
-            input_levels >= self.params.input_levels
-        ):
-            raise CrossbarError(
-                f"input levels outside [0, {self.params.input_levels})"
-            )
+        input_levels = self._checked_compute_inputs(
+            input_levels, "analog_mvm_counts"
+        )
         dev = self.params.device
         v_step = dev.v_read / (self.params.input_levels - 1)
         g_step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
@@ -140,6 +158,31 @@ class CrossbarArray:
             voltages, with_read_noise=with_noise
         )
         return currents / (v_step * g_step)
+
+    def exact_mvm_counts(self, input_levels: np.ndarray) -> np.ndarray:
+        """Baseline-free count-domain MVM of an *ideal* array.
+
+        For an ideal array (see :attr:`is_ideal`) the noise-free analog
+        MVM minus its baseline equals ``input_levels @ levels`` exactly:
+        every term is an integer and all partial sums stay far below
+        2**53, so the float64 matmul is exact.  The analog path computes
+        the same value through the conductance mapping and back, which
+        leaves the result an epsilon away from the integer lattice —
+        enough to flip a later ``floor``.  This method is the
+        deterministic reference the differential pair and the fused
+        layer kernels use when noise is off.
+        """
+        if not self.is_ideal:
+            raise CrossbarError(
+                "exact_mvm_counts requires an ideal array (no variation, "
+                "faults, or wire resistance)"
+            )
+        input_levels = self._checked_compute_inputs(
+            input_levels, "exact_mvm_counts"
+        )
+        return input_levels.astype(np.float64) @ self.cells.levels.astype(
+            np.float64
+        )
 
     def baseline_counts(self, input_levels: np.ndarray) -> np.ndarray:
         """Count-domain baseline from the HRS offset conductance.

@@ -116,6 +116,12 @@ class CrossbarMVMEngine:
                 rows * self.params.device.t_write * 1e9,
             )
 
+    @property
+    def is_ideal(self) -> bool:
+        """True when both halves of the pair hold exact conductances,
+        making the noise-free MVM deterministic (integer counts)."""
+        return self.pair.positive.is_ideal and self.pair.negative.is_ideal
+
     # -- execution --------------------------------------------------------
 
     def _record_mvms(self, n: int) -> None:

@@ -71,7 +71,19 @@ class DifferentialPair:
         The HRS baseline is identical in both halves and cancels in the
         analog subtraction, so the result directly estimates
         ``sum_i a_i * signed_level_i`` per column.
+
+        When both halves are ideal and the read is effectively
+        noise-free, the pair answers through
+        :meth:`CrossbarArray.exact_mvm_counts` so the result lands
+        exactly on the integer lattice instead of an epsilon away from
+        it after the conductance round-trip.  This keeps the engine's
+        truncating sense-amp arithmetic deterministic and lets the
+        fused layer kernels be bit-identical to the per-engine path.
         """
+        if self._effectively_noise_free(with_noise):
+            return self.positive.exact_mvm_counts(
+                input_levels
+            ) - self.negative.exact_mvm_counts(input_levels)
         pos = self.positive.analog_mvm_counts(
             input_levels, with_noise=with_noise
         )
@@ -79,6 +91,19 @@ class DifferentialPair:
             input_levels, with_noise=with_noise
         )
         return pos - neg
+
+    def _effectively_noise_free(self, with_noise: bool) -> bool:
+        """Whether an MVM with this noise flag is deterministic on an
+        ideal pair (exact fast path applies)."""
+        if not (self.positive.is_ideal and self.negative.is_ideal):
+            return False
+        if not with_noise:
+            return True
+        cells = self.positive.cells
+        return (
+            cells.rng is None
+            or self.params.device.read_noise_sigma <= 0.0
+        )
 
     def subtraction_energy(self, columns: int | None = None) -> float:
         """Energy of the analog subtraction units for one conversion."""

@@ -76,6 +76,9 @@ class CellArray:
         self._conductance = np.full(
             (rows, cols), device.g_off, dtype=np.float64
         )
+        # Conductances start at the exact level-0 mapping; programming
+        # may later perturb them (variation / faults).
+        self._pristine = fault_map is None
 
     # -- programming -------------------------------------------------
 
@@ -102,6 +105,7 @@ class CellArray:
         self._levels = levels.astype(np.int16)
         ideal = self._ideal_conductance(self._levels)
         self._conductance = self._perturb(ideal)
+        self._pristine = not self._perturbs() and self.fault_map is None
         if self.fault_map is not None:
             self._conductance = self.fault_map.apply(
                 self._conductance, self.device
@@ -126,6 +130,11 @@ class CellArray:
         self._conductance[row0 : row0 + r, col0 : col0 + c] = self._perturb(
             ideal
         )
+        self._pristine = (
+            self._pristine
+            and not self._perturbs()
+            and self.fault_map is None
+        )
         if self.fault_map is not None:
             self._conductance = self.fault_map.apply(
                 self._conductance, self.device
@@ -141,6 +150,15 @@ class CellArray:
     def levels(self) -> np.ndarray:
         """Programmed MLC levels (copy)."""
         return self._levels.copy()
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the stored conductances equal the exact linear
+        mapping of the programmed levels — no programming variation,
+        faults, or IR drop.  The noise-free MVM of an ideal array is a
+        deterministic integer in the count domain, which the crossbar
+        layer exploits for its exact fast path."""
+        return self._pristine and self.wire_resistance == 0.0
 
     def conductances(self, with_read_noise: bool = False) -> np.ndarray:
         """Effective conductance matrix in siemens.
@@ -180,6 +198,10 @@ class CellArray:
         dev = self.device
         step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
         return dev.g_off + step * levels.astype(np.float64)
+
+    def _perturbs(self) -> bool:
+        """Whether programming applies a stochastic perturbation."""
+        return self.rng is not None and self.device.programming_sigma > 0.0
 
     def _perturb(self, ideal: np.ndarray) -> np.ndarray:
         sigma = self.device.programming_sigma

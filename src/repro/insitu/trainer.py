@@ -12,6 +12,7 @@ from repro.nn.layers import Dense, ReLU, Sigmoid
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.network import Sequential
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.perf.kernels import FusedLayerKernel
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
 
 
@@ -59,6 +60,8 @@ class _InSituLayer:
         self._x: np.ndarray | None = None
         self._pre: np.ndarray | None = None
         self.total_writes = 0
+        self._kernel: FusedLayerKernel | None = None
+        self._cal_shift: int | None = None
         self.program(full=True)
 
     # -- weight <-> cell synchronisation ---------------------------------
@@ -85,10 +88,22 @@ class _InSituLayer:
             changed = int(np.count_nonzero(levels != self.levels))
         if changed:
             self.engine.program(levels)
+            # The cell state moved: the cached SA window and the fused
+            # kernel's stacked weights are both stale.
+            self._cal_shift = None
+            if self._kernel is not None:
+                self._kernel.invalidate()
         self.levels = levels
         self.w_fmt = fmt
         self.total_writes += changed
         return changed
+
+    @property
+    def kernel(self) -> FusedLayerKernel:
+        """Fused kernel over this layer's single-engine grid."""
+        if self._kernel is None:
+            self._kernel = FusedLayerKernel([[self.engine]])
+        return self._kernel
 
     # -- mixed-signal forward / digital backward ---------------------------
 
@@ -101,12 +116,14 @@ class _InSituLayer:
             augmented, bits=pin, signed=False
         )
         codes = in_fmt.quantize_int(np.clip(augmented, 0.0, None))
-        sample = codes[: min(64, codes.shape[0])]
-        bound = max(
-            int(np.max(np.abs(sample @ self.engine.programmed_weights))), 1
-        )
-        shift = max(0, bound.bit_length() - self.engine.spec.po)
-        raw = self.engine.mvm_batch(codes, output_shift=shift)
+        if self._cal_shift is None:
+            # Calibrate once per cell state: the SA window only moves
+            # when program() actually rewrites levels.
+            self._cal_shift = self.kernel.calibrate_output_shift(
+                codes, calibration_samples=min(64, codes.shape[0])
+            )
+        shift = self._cal_shift
+        raw = self.kernel.mvm_batch(codes, output_shift=shift)
         pre = raw * (2.0 ** shift) * in_fmt.resolution * self.w_fmt.resolution
         self._x = x
         self._pre = pre

@@ -27,6 +27,7 @@ from repro.crossbar.engine import CrossbarMVMEngine
 from repro.nn.layers import Dense, Flatten, ReLU
 from repro.nn.network import Sequential
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.perf.kernels import FusedLayerKernel
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
 
 
@@ -92,6 +93,10 @@ class SpikingLayer:
     #: Crossbar tiles [row_block][col_block] once programmed.
     tiles: list = field(default_factory=list)
     w_fmt: DynamicFixedPoint | None = None
+    #: Fused kernel over the tile grid, built at program time.
+    kernel: FusedLayerKernel | None = None
+    #: Layer-wide SA output window, calibrated on the first timestep.
+    output_shift: int | None = None
 
     @property
     def programmed(self) -> bool:
@@ -211,6 +216,8 @@ class SpikingNetwork:
                 tiles.append(row_tiles)
             layer.tiles = tiles
             layer.w_fmt = fmt
+            layer.kernel = FusedLayerKernel(tiles)
+            layer.output_shift = None
 
     # -- inference ---------------------------------------------------------
 
@@ -284,29 +291,17 @@ class SpikingNetwork:
         codes = np.concatenate(
             [spikes, np.ones((spikes.shape[0], 1))], axis=1
         ).astype(np.int64)
-        rows_cap = layer.tiles[0][0].params.rows
-        outputs = None
-        for rb, tile_row in enumerate(layer.tiles):
-            r0 = rb * rows_cap
-            cols = []
-            for engine in tile_row:
-                block = codes[:, r0 : r0 + engine.rows_used]
-                sample = block[: min(32, block.shape[0])]
-                bound = max(
-                    int(
-                        np.max(
-                            np.abs(sample @ engine.programmed_weights)
-                        )
-                    ),
-                    1,
-                )
-                shift = max(0, bound.bit_length() - engine.spec.po)
-                raw = engine.mvm_batch(
-                    block, with_noise=with_noise, output_shift=shift
-                )
-                cols.append(raw * (2.0 ** shift))
-            row_result = np.concatenate(cols, axis=1)
-            outputs = (
-                row_result if outputs is None else outputs + row_result
+        kernel = layer.kernel
+        if layer.output_shift is None:
+            # One layer-wide SA window, frozen on the first timestep's
+            # spikes; later timesteps reuse it (saturating at the SA
+            # ceiling like any fixed hardware reference).
+            layer.output_shift = kernel.calibrate_output_shift(
+                codes, calibration_samples=min(32, codes.shape[0])
             )
-        return outputs * layer.w_fmt.resolution
+        raw = kernel.mvm_batch(
+            codes, with_noise=with_noise, output_shift=layer.output_shift
+        )
+        return (
+            raw * (2.0 ** layer.output_shift) * layer.w_fmt.resolution
+        )

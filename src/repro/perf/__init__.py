@@ -17,6 +17,12 @@ parallel sweeps one point at a time.  This package removes both:
   functions of their arguments (per-task seeds included), so parallel
   results are bit-identical to the serial path.
 
+* :mod:`repro.perf.kernels` — fused layer-level crossbar kernels: one
+  batched evaluation per mapped layer instead of a Python walk over
+  the ``row_blocks × col_blocks`` tile grid, bit-identical to the
+  per-engine path with noise off and seed-reproducible with noise on.
+  Controlled by ``PRIME_FUSED``.
+
 Both layers emit ``perf.*`` telemetry counters when
 :mod:`repro.telemetry` is enabled, and both degrade gracefully: with
 caching disabled everything recomputes, and with no usable process
@@ -35,6 +41,7 @@ from repro.perf.cache import (
     reference_network_key,
     stable_key,
 )
+from repro.perf.kernels import FusedLayerKernel, fused_enabled
 from repro.perf.parallel import (
     chunk_size,
     parallel_map,
@@ -44,12 +51,14 @@ from repro.perf.parallel import (
 
 __all__ = [
     "ArtifactCache",
+    "FusedLayerKernel",
     "active",
     "cache_root",
     "chunk_size",
     "code_fingerprint",
     "disable",
     "enable",
+    "fused_enabled",
     "mapping_plan",
     "parallel_map",
     "reference_network",

@@ -1,0 +1,511 @@
+"""Fused layer-level crossbar kernels.
+
+The per-engine functional path walks a mapped layer's tile grid in
+Python: one :meth:`CrossbarMVMEngine.mvm_batch` call per tile, each
+padding its inputs to the full physical array and round-tripping
+through the conductance domain.  :class:`FusedLayerKernel` evaluates
+the same layer as a handful of batched NumPy ops instead:
+
+* the tile grid's programmed weights (or conductances) are stacked
+  into block tensors once, at program time;
+* the whole batch, both drive phases, and all tiles evaluate with
+  batched matmuls in the count domain;
+* the four partial-product planes (HH/HL/LH/LL) are digitised with one
+  vectorised pass that mirrors the engine's truncating sense-amp
+  arithmetic exactly.
+
+Two fused modes exist.  With noise *off* on ideal arrays the kernel
+computes the part counts directly from ``programmed_weights`` — the
+noiseless count domain is deterministic (integer-valued, exactly
+representable in float64), so this path is bit-identical to the
+per-engine path, which itself answers through
+:meth:`CrossbarArray.exact_mvm_counts` in that regime.  With noise
+*on* the kernel stacks the pair conductances and draws the read noise
+for all tiles from one vectorised RNG call, seeded from the engines'
+shared generator, so results stay reproducible under a fixed seed.
+
+Telemetry semantics are preserved: ``mvm.invocations``, model-time and
+energy counters, per-engine invocation counts, and sense-amp
+conversion counts all reflect the hardware firings the fused math
+replaces, not the host matmuls that compute them.  Setting
+``PRIME_FUSED=0`` routes every call through the per-engine fallback
+for differential testing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import CrossbarError
+from repro.precision.composing import split_unsigned
+
+__all__ = ["fused_enabled", "FusedLayerKernel"]
+
+
+def fused_enabled() -> bool:
+    """Whether the fused layer fast path is enabled (``PRIME_FUSED``)."""
+    return os.environ.get("PRIME_FUSED", "1") != "0"
+
+
+class FusedLayerKernel:
+    """Evaluates one mapped layer's tile grid with fused NumPy ops.
+
+    ``tiles`` is the ``row_blocks × col_blocks`` grid of programmed
+    :class:`~repro.crossbar.engine.CrossbarMVMEngine` instances the
+    executor builds (engines in one tile row share input rows; engines
+    in one tile column share output columns).  The kernel never owns
+    the engines — it reads their programmed state and charges their
+    counters, so the fused and per-engine paths stay interchangeable.
+    """
+
+    def __init__(self, tiles) -> None:
+        if not tiles or not tiles[0]:
+            raise CrossbarError("fused kernel needs a non-empty tile grid")
+        width = len(tiles[0])
+        if any(len(row) != width for row in tiles):
+            raise CrossbarError("tile grid must be rectangular")
+        first = tiles[0][0]
+        for row in tiles:
+            for engine in row:
+                if engine.rows_used == 0:
+                    raise CrossbarError(
+                        "every engine must be programmed before fusing"
+                    )
+                if engine.spec != first.spec:
+                    raise CrossbarError(
+                        "all engines in a layer must share one "
+                        "composing spec"
+                    )
+                if (
+                    engine.params.rows != first.params.rows
+                    or engine.params.cols != first.params.cols
+                ):
+                    raise CrossbarError(
+                        "all engines in a layer must share one physical "
+                        "geometry"
+                    )
+        for row in tiles:
+            if any(e.rows_used != row[0].rows_used for e in row):
+                raise CrossbarError(
+                    "engines in one tile row must share rows_used"
+                )
+        for cb in range(width):
+            if any(
+                row[cb].cols_used != tiles[0][cb].cols_used for row in tiles
+            ):
+                raise CrossbarError(
+                    "engines in one tile column must share cols_used"
+                )
+        self.tiles = [list(row) for row in tiles]
+        self.row_blocks = len(self.tiles)
+        self.col_blocks = width
+        self.spec = first.spec
+        self.params = first.params
+        self.rows_used = [row[0].rows_used for row in self.tiles]
+        self.cols_used = [e.cols_used for e in self.tiles[0]]
+        self.total_rows = sum(self.rows_used)
+        self.total_cols = sum(self.cols_used)
+        rng = first.pair.positive.cells.rng
+        self._rng = rng
+        self._rng_shared = all(
+            e.pair.positive.cells.rng is rng
+            and e.pair.negative.cells.rng is rng
+            for row in self.tiles
+            for e in row
+        )
+        self._w_cat: np.ndarray | None = None
+        self._g_pos: np.ndarray | None = None
+        self._g_neg: np.ndarray | None = None
+        self._even_idx: np.ndarray | None = None
+        self._odd_idx: np.ndarray | None = None
+
+    # -- fuse decision ------------------------------------------------
+
+    @property
+    def is_ideal(self) -> bool:
+        """All engines hold exact conductances (deterministic counts)."""
+        return all(e.is_ideal for row in self.tiles for e in row)
+
+    def _noisy(self, with_noise: bool) -> bool:
+        """Whether this call actually samples read noise anywhere."""
+        return (
+            with_noise
+            and self.params.device.read_noise_sigma > 0.0
+            and any(
+                e.pair.positive.cells.rng is not None
+                for row in self.tiles
+                for e in row
+            )
+        )
+
+    def can_fuse(self, with_noise: bool) -> bool:
+        """Whether a fused evaluation preserves the engine semantics.
+
+        Noise-free calls fuse through the exact integer path, which
+        requires ideal arrays (no programming variation, faults, or IR
+        drop) — exactly the regime where the per-engine path is
+        deterministic too.  Noisy calls fuse through the stacked analog
+        path, which needs all engines to share one RNG so a single
+        derived seed covers every tile.  Anything else falls back to
+        the per-engine loop, which handles arbitrary conductance state.
+        """
+        if self._noisy(with_noise):
+            return self._rng_shared and self._rng is not None
+        return self.is_ideal
+
+    def invalidate(self) -> None:
+        """Drop cached weight/conductance stacks after reprogramming."""
+        self._w_cat = None
+        self._g_pos = None
+        self._g_neg = None
+
+    # -- execution ----------------------------------------------------
+
+    def mvm_batch(
+        self,
+        codes: np.ndarray,
+        with_noise: bool = True,
+        output_shift: int | None = None,
+        fused: bool | None = None,
+    ) -> np.ndarray:
+        """Layer-level MVM over a ``(batch, total_rows)`` code matrix.
+
+        Returns the ``(batch, total_cols)`` signed integer outputs the
+        per-engine tile walk would produce: each tile digitised at
+        ``output_shift`` and row blocks summed.  ``fused=None`` uses
+        the fused path when ``PRIME_FUSED`` allows it and
+        :meth:`can_fuse` holds; ``fused=False`` forces the per-engine
+        fallback (for differential testing).
+        """
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self.total_rows:
+            raise CrossbarError(
+                f"expected (batch, {self.total_rows}) codes, got "
+                f"{codes.shape}"
+            )
+        if np.any(codes < 0) or np.any(codes >= (1 << self.spec.pin)):
+            raise CrossbarError(
+                f"inputs outside unsigned {self.spec.pin}-bit range"
+            )
+        shift = (
+            self.spec.target_shift if output_shift is None else output_shift
+        )
+        if fused is None:
+            fused = fused_enabled() and self.can_fuse(with_noise)
+        if not fused:
+            return self._per_engine(codes, with_noise, shift)
+        self._charge(codes.shape[0], shift)
+        if self._noisy(with_noise):
+            planes = self._analog_planes(codes)
+            return self._accumulate(planes, shift)
+        counts = self._integer_counts(codes)
+        return self._accumulate_exact(counts, codes.shape[0], shift)
+
+    def calibrate_output_shift(
+        self, codes: np.ndarray, calibration_samples: int = 64
+    ) -> int:
+        """Choose the layer's SA output window from a code prefix.
+
+        Same procedure as the executor's offline calibration: the
+        largest observed per-tile-row partial result must still fit in
+        the Po-bit output register.  Costs one host matmul per tile
+        row; no engines fire.
+        """
+        sample = np.asarray(codes)[:calibration_samples]
+        bound = 1
+        off = 0
+        for rb, row in enumerate(self.tiles):
+            block = sample[:, off : off + self.rows_used[rb]]
+            row_weights = np.hstack(
+                [engine.programmed_weights for engine in row]
+            )
+            bound = max(bound, int(np.max(np.abs(block @ row_weights))))
+            off += self.rows_used[rb]
+        return max(0, bound.bit_length() - self.spec.po)
+
+    # -- fallback -----------------------------------------------------
+
+    def _per_engine(
+        self, codes: np.ndarray, with_noise: bool, shift: int
+    ) -> np.ndarray:
+        """The original tile walk: one engine call per tile."""
+        outputs = None
+        off = 0
+        for rb, tile_row in enumerate(self.tiles):
+            block = codes[:, off : off + self.rows_used[rb]]
+            cols_out = [
+                engine.mvm_batch(
+                    block, with_noise=with_noise, output_shift=shift
+                )
+                for engine in tile_row
+            ]
+            row_result = np.concatenate(cols_out, axis=1)
+            outputs = row_result if outputs is None else outputs + row_result
+            off += self.rows_used[rb]
+        return outputs
+
+    # -- fused part-count planes --------------------------------------
+
+    def _stacked_inputs(
+        self, codes: np.ndarray, pad_rows: int, dtype=np.float64
+    ) -> np.ndarray:
+        """(row_blocks, 2*batch, pad_rows) drive-phase stack.
+
+        Rows [:batch] carry the high input halves, rows [batch:] the
+        low halves — the same hi-then-lo packing the engine uses — so
+        both phases of every row block evaluate in one batched matmul.
+        """
+        n = codes.shape[0]
+        hi, lo = split_unsigned(codes.astype(np.int64), self.spec.pin)
+        drive = np.zeros((self.row_blocks, 2 * n, pad_rows), dtype=dtype)
+        off = 0
+        for rb, rows in enumerate(self.rows_used):
+            drive[rb, :n, :rows] = hi[:, off : off + rows]
+            drive[rb, n:, :rows] = lo[:, off : off + rows]
+            off += rows
+        return drive
+
+    def _count_dtype(self):
+        """Narrowest float dtype that holds every part count exactly.
+
+        A part count is a sum of ``rows`` products of an input half and
+        a weight-half magnitude — an integer.  When its bound stays
+        below float32's 2**24 contiguous-integer range, sgemm computes
+        the exact same integers at twice the dgemm rate.
+        """
+        spec = self.spec
+        in_max = (1 << (spec.pin - spec.pin // 2)) - 1
+        w_max = (1 << (spec.pw - spec.pw // 2)) - 1
+        bound = max(self.rows_used) * in_max * w_max
+        return np.float32 if bound < (1 << 24) else np.float64
+
+    def _weight_stack(self) -> np.ndarray:
+        """(row_blocks, max_rows, 2*total_cols) signed weight halves.
+
+        Columns [:total_cols] hold the signed high halves, columns
+        [total_cols:] the signed low halves, so one matmul per drive
+        phase yields both part planes.
+        """
+        if self._w_cat is None:
+            rmax = max(self.rows_used)
+            t = self.total_cols
+            w_cat = np.zeros(
+                (self.row_blocks, rmax, 2 * t), dtype=self._count_dtype()
+            )
+            for rb, row in enumerate(self.tiles):
+                c0 = 0
+                for engine in row:
+                    w = engine.programmed_weights
+                    sign = np.sign(w)
+                    hi, lo = split_unsigned(np.abs(w), self.spec.pw)
+                    rows, cols = w.shape
+                    w_cat[rb, :rows, c0 : c0 + cols] = sign * hi
+                    w_cat[rb, :rows, t + c0 : t + c0 + cols] = sign * lo
+                    c0 += cols
+            self._w_cat = w_cat
+        return self._w_cat
+
+    def _integer_counts(self, codes: np.ndarray) -> np.ndarray:
+        """Exact noise-free part counts, straight from the weights.
+
+        Returns the raw ``(row_blocks, 2*batch, 2*total_cols)`` count
+        tensor: rows split hi/lo drive phase, columns split hi/lo
+        weight half.  Every entry is an integer inside the chosen float
+        dtype's contiguous-integer range (see :meth:`_count_dtype`), so
+        the matmul is exact and the result matches the per-engine path
+        (which answers through ``exact_mvm_counts`` in this regime)
+        bit for bit.
+        """
+        w_cat = self._weight_stack()
+        drive = self._stacked_inputs(codes, w_cat.shape[1], w_cat.dtype)
+        return drive @ w_cat
+
+    def _conductance_stacks(self) -> tuple[np.ndarray, np.ndarray]:
+        """(row_blocks, phys_rows, col_blocks*phys_cols) pos/neg G."""
+        if self._g_pos is None:
+            rows, cols = self.params.rows, self.params.cols
+            shape = (self.row_blocks, rows, self.col_blocks * cols)
+            g_pos = np.zeros(shape)
+            g_neg = np.zeros(shape)
+            for rb, row in enumerate(self.tiles):
+                for cb, engine in enumerate(row):
+                    c0 = cb * cols
+                    g_pos[rb, :, c0 : c0 + cols] = (
+                        engine.pair.positive.cells.conductances()
+                    )
+                    g_neg[rb, :, c0 : c0 + cols] = (
+                        engine.pair.negative.cells.conductances()
+                    )
+            self._g_pos, self._g_neg = g_pos, g_neg
+        return self._g_pos, self._g_neg
+
+    def _column_gather(self) -> tuple[np.ndarray, np.ndarray]:
+        """Physical-column indices of the hi/lo weight bitlines."""
+        if self._even_idx is None:
+            even, odd = [], []
+            for cb, cols in enumerate(self.cols_used):
+                base = cb * self.params.cols
+                lanes = base + 2 * np.arange(cols)
+                even.append(lanes)
+                odd.append(lanes + 1)
+            self._even_idx = np.concatenate(even)
+            self._odd_idx = np.concatenate(odd)
+        return self._even_idx, self._odd_idx
+
+    def _analog_planes(self, codes: np.ndarray) -> dict[str, np.ndarray]:
+        """Noisy part counts through the stacked conductance tensors.
+
+        The read noise for every tile comes from one vectorised draw of
+        a Philox stream keyed by a seed pulled once from the engines'
+        shared generator: each tile's noise is a fixed slice of that
+        stream, so a seeded run reproduces exactly while consuming one
+        value of the shared stream per fused call.
+        """
+        params = self.params
+        dev = params.device
+        g_pos, g_neg = self._conductance_stacks()
+        v_step = dev.v_read / (params.input_levels - 1)
+        g_step = (dev.g_on - dev.g_off) / (dev.mlc_levels - 1)
+        n = codes.shape[0]
+        drive = self._stacked_inputs(codes, params.rows)
+        sigma = dev.read_noise_sigma
+        seed = int(self._rng.integers(np.iinfo(np.int64).max))
+        noise = np.random.Generator(np.random.Philox(seed)).standard_normal(
+            (2,) + g_pos.shape
+        )
+        g_p = np.clip(g_pos * (1.0 + sigma * noise[0]), 0.0, None)
+        g_n = np.clip(g_neg * (1.0 + sigma * noise[1]), 0.0, None)
+        counts = (drive * v_step) @ (g_p - g_n) / (v_step * g_step)
+        counts_hi = counts[:, :n]
+        counts_lo = counts[:, n:]
+        even, odd = self._column_gather()
+        return {
+            "HH": counts_hi[..., even],
+            "LH": counts_hi[..., odd],
+            "HL": counts_lo[..., even],
+            "LL": counts_lo[..., odd],
+        }
+
+    # -- digitisation and accounting ----------------------------------
+
+    def _part_weights(self) -> dict[str, int]:
+        """Power-of-two weight of each partial product (engine Eq. 8)."""
+        return {
+            "HH": (self.spec.pin + self.spec.pw) // 2,
+            "LH": self.spec.pin // 2,
+            "HL": self.spec.pw // 2,
+            "LL": 0,
+        }
+
+    def _active_parts(self, output_shift: int) -> int:
+        """Parts the SA digitises (not entirely below the window)."""
+        return sum(
+            1
+            for w_part in self._part_weights().values()
+            if max(0, output_shift - w_part) < self.spec.part_full_bits
+        )
+
+    def _accumulate(
+        self, planes: dict[str, np.ndarray], output_shift: int
+    ) -> np.ndarray:
+        """Vectorised mirror of the engine's ``_accumulate_parts``,
+        applied to all row blocks at once, then summed across them —
+        identical to digitising per tile and summing the tile rows.
+
+        Used by the analog path, whose planes are float; the engine's
+        ``floor(|counts| / 2**shift)`` truncation is kept verbatim.
+        """
+        spec = self.spec
+        limit = (1 << spec.po) - 1
+        total = np.zeros(planes["HH"].shape, dtype=np.int64)
+        for name, w_part in self._part_weights().items():
+            counts = planes[name]
+            shift = max(0, output_shift - w_part)
+            if shift >= spec.part_full_bits:
+                continue
+            sign = np.sign(counts)
+            magnitude = np.floor(np.abs(counts) / float(1 << shift))
+            digital = sign.astype(np.int64) * np.minimum(
+                magnitude, limit
+            ).astype(np.int64)
+            total += digital << (w_part - output_shift + shift)
+        return total.sum(axis=0)
+
+    def _accumulate_exact(
+        self, counts: np.ndarray, batch: int, output_shift: int
+    ) -> np.ndarray:
+        """Digitise the raw count tensor in one broadcast pass.
+
+        ``counts`` is the contiguous ``(row_blocks, 2*batch,
+        2*total_cols)`` tensor from :meth:`_integer_counts`; reshaping
+        it to ``(row_blocks, 2, batch, 2, total_cols)`` exposes the
+        drive phase and weight half as axes, so all four partial
+        products digitise with one abs/floor/clip/scale sweep instead
+        of four strided passes.  Counts are exact float integers, so
+        multiplying by an exact power of two and flooring equals the
+        engine's ``floor(|c| / 2**shift)`` truncation bit for bit.
+        Parts entirely below the SA window get a zero post-scale and
+        vanish, matching the engine's skip.
+        """
+        spec = self.spec
+        limit = float((1 << spec.po) - 1)
+        parts = counts.reshape(
+            self.row_blocks, 2, batch, 2, self.total_cols
+        )
+        # [phase, half] -> power-of-two weight of that partial product
+        pws = np.array(
+            [
+                [(spec.pin + spec.pw) // 2, spec.pin // 2],
+                [spec.pw // 2, 0],
+            ]
+        )
+        shifts = np.maximum(0, output_shift - pws)
+        active = shifts < spec.part_full_bits
+        pre = np.where(active, 2.0 ** -shifts.astype(np.float64), 0.0)
+        post = np.where(
+            active, 2.0 ** (pws - output_shift + shifts), 0.0
+        )
+        # The digitised per-element total must also stay inside the
+        # float dtype's contiguous-integer range for the sums below to
+        # be exact; upcast in the rare geometry where it would not.
+        if (
+            parts.dtype == np.float32
+            and limit * float(post.sum()) >= float(1 << 24)
+        ):
+            parts = parts.astype(np.float64)
+        pre = pre.reshape(1, 2, 1, 2, 1).astype(parts.dtype)
+        post = post.reshape(1, 2, 1, 2, 1).astype(parts.dtype)
+        magnitude = np.abs(parts)
+        magnitude *= pre
+        np.floor(magnitude, out=magnitude)
+        np.minimum(magnitude, limit, out=magnitude)
+        magnitude *= post
+        np.copysign(magnitude, parts, out=magnitude)
+        total = magnitude.sum(axis=(1, 3))
+        return total.astype(np.int64).sum(axis=0)
+
+    def _charge(self, batch: int, output_shift: int) -> None:
+        """Charge the hardware firings the fused math replaced.
+
+        Matches the per-engine path exactly: every engine fires once
+        per input vector, and its SA converts one value per active
+        part per used column per vector.
+        """
+        active = self._active_parts(output_shift)
+        for row in self.tiles:
+            for engine in row:
+                engine.mvm_invocations += batch
+                engine.sense.conversions += active * batch * engine.cols_used
+        if not telemetry.enabled():
+            return
+        firings = batch * self.row_blocks * self.col_blocks
+        telemetry.count("mvm.invocations", firings)
+        telemetry.count(
+            "mvm.model_time_ns", firings * self.params.t_full_mvm * 1e9
+        )
+        telemetry.count(
+            "mvm.energy_nj", firings * 2.0 * self.params.e_full_mvm * 1e9
+        )

@@ -1,0 +1,427 @@
+"""Tests for the fused layer kernels and the streaming functional path.
+
+The contract under test: with noise off on ideal arrays the fused path
+is *bit-identical* to the per-engine tile walk (``np.array_equal``, not
+allclose), telemetry charges the same hardware firings either way, the
+noisy fused path reproduces under a fixed seed, and streaming the batch
+through ``run_functional`` in chunks never changes the output.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor, ProgrammedLayer
+from repro.crossbar.engine import CrossbarMVMEngine
+from repro.errors import CrossbarError
+from repro.params.prime import DEFAULT_PRIME_CONFIG
+from repro.perf.kernels import FusedLayerKernel, fused_enabled
+
+
+@pytest.fixture
+def compiler():
+    return PrimeCompiler(DEFAULT_PRIME_CONFIG)
+
+
+@pytest.fixture
+def executor():
+    return PrimeExecutor(DEFAULT_PRIME_CONFIG)
+
+
+def make_grid(params, grid_rows, grid_cols, rng, engine_rng=None):
+    """A programmed tile grid with random weights; full tiles except
+    the last row/column block (the executor's padding pattern)."""
+    w_max = (1 << params.effective_weight_bits) - 1
+    tiles = []
+    for rb in range(len(grid_rows)):
+        row = []
+        for cb in range(len(grid_cols)):
+            engine = CrossbarMVMEngine(params, rng=engine_rng)
+            engine.program(
+                rng.integers(
+                    -w_max, w_max + 1, (grid_rows[rb], grid_cols[cb])
+                )
+            )
+            row.append(engine)
+        tiles.append(row)
+    return tiles
+
+
+def make_codes(params, kernel, batch, rng):
+    return rng.integers(
+        0,
+        1 << params.effective_input_bits,
+        (batch, kernel.total_rows),
+        dtype=np.int64,
+    )
+
+
+class TestFusedBitIdentity:
+    """Noise-off fused output == per-engine output, exactly."""
+
+    @pytest.mark.parametrize(
+        "grid_rows, grid_cols",
+        [
+            ([32], [16]),            # one full tile
+            ([32, 7], [16]),         # split rows (merge across blocks)
+            ([32], [16, 5]),         # split columns
+            ([32, 11], [16, 9]),     # full 2x2 split-merge grid
+        ],
+    )
+    def test_matches_per_engine(
+        self, small_xbar, rng, grid_rows, grid_cols
+    ):
+        tiles = make_grid(small_xbar, grid_rows, grid_cols, rng)
+        kernel = FusedLayerKernel(tiles)
+        codes = make_codes(small_xbar, kernel, 17, rng)
+        for shift in (0, 2, kernel.spec.target_shift, 12):
+            fused = kernel.mvm_batch(
+                codes, with_noise=False, output_shift=shift, fused=True
+            )
+            walked = kernel.mvm_batch(
+                codes, with_noise=False, output_shift=shift, fused=False
+            )
+            assert fused.dtype == walked.dtype == np.int64
+            assert np.array_equal(fused, walked)
+
+    def test_with_noise_flag_but_no_rng_still_exact(
+        self, small_xbar, rng
+    ):
+        # Engines without an RNG never sample noise, so with_noise=True
+        # stays on the exact path and must match the walk bitwise.
+        tiles = make_grid(small_xbar, [32, 5], [16], rng)
+        kernel = FusedLayerKernel(tiles)
+        codes = make_codes(small_xbar, kernel, 9, rng)
+        assert np.array_equal(
+            kernel.mvm_batch(codes, with_noise=True, fused=True),
+            kernel.mvm_batch(codes, with_noise=True, fused=False),
+        )
+
+    def test_calibration_matches_executor_static(self, small_xbar, rng):
+        tiles = make_grid(small_xbar, [32, 13], [16, 6], rng)
+        kernel = FusedLayerKernel(tiles)
+        codes = make_codes(small_xbar, kernel, 40, rng)
+        assert kernel.calibrate_output_shift(
+            codes
+        ) == PrimeExecutor._calibrate_output_shift(
+            tiles, codes, kernel.spec.po
+        )
+
+    def test_non_ideal_grid_refuses_to_fuse(self, small_xbar, rng):
+        # Programming variation makes the counts depend on the actual
+        # conductances, so the exact path must decline and the kernel
+        # must fall back (outputs still equal the walk).
+        tiles = make_grid(
+            small_xbar, [16], [16], rng,
+            engine_rng=np.random.default_rng(5),
+        )
+        kernel = FusedLayerKernel(tiles)
+        if small_xbar.device.programming_sigma > 0:
+            assert not kernel.can_fuse(with_noise=False)
+        codes = make_codes(small_xbar, kernel, 5, rng)
+        assert np.array_equal(
+            kernel.mvm_batch(codes, with_noise=False),
+            kernel.mvm_batch(codes, with_noise=False, fused=False),
+        )
+
+
+class TestKernelValidation:
+    def test_ragged_grid_rejected(self, small_xbar, rng):
+        tiles = make_grid(small_xbar, [16, 16], [16, 16], rng)
+        tiles[1] = tiles[1][:1]
+        with pytest.raises(CrossbarError):
+            FusedLayerKernel(tiles)
+
+    def test_unprogrammed_engine_rejected(self, small_xbar):
+        with pytest.raises(CrossbarError):
+            FusedLayerKernel([[CrossbarMVMEngine(small_xbar)]])
+
+    def test_mismatched_rows_used_rejected(self, small_xbar, rng):
+        tiles = make_grid(small_xbar, [16], [16], rng)
+        extra = CrossbarMVMEngine(small_xbar)
+        extra.program(rng.integers(-3, 4, (9, 16)))
+        tiles[0].append(extra)
+        with pytest.raises(CrossbarError):
+            FusedLayerKernel(tiles)
+
+    def test_bad_code_shape_rejected(self, small_xbar, rng):
+        kernel = FusedLayerKernel(make_grid(small_xbar, [16], [16], rng))
+        with pytest.raises(CrossbarError):
+            kernel.mvm_batch(np.zeros((4, 15), dtype=np.int64))
+
+    def test_out_of_range_codes_rejected(self, small_xbar, rng):
+        kernel = FusedLayerKernel(make_grid(small_xbar, [16], [16], rng))
+        codes = np.zeros((2, 16), dtype=np.int64)
+        codes[0, 0] = 1 << small_xbar.effective_input_bits
+        with pytest.raises(CrossbarError):
+            kernel.mvm_batch(codes)
+
+
+class TestNoisyFusedReproducibility:
+    def _build(self, params, seed):
+        rng = np.random.default_rng(seed)
+        weights = np.random.default_rng(99)  # same weights every build
+        tiles = make_grid(params, [24, 8], [16], weights, engine_rng=rng)
+        return FusedLayerKernel(tiles)
+
+    def test_same_seed_reproduces(self, small_xbar, rng):
+        assert small_xbar.device.read_noise_sigma > 0
+        k1 = self._build(small_xbar, 7)
+        k2 = self._build(small_xbar, 7)
+        codes = make_codes(small_xbar, k1, 6, rng)
+        assert k1.can_fuse(with_noise=True)
+        out1 = k1.mvm_batch(codes, with_noise=True, fused=True)
+        out2 = k2.mvm_batch(codes, with_noise=True, fused=True)
+        assert np.array_equal(out1, out2)
+
+    def test_different_seed_differs(self, small_xbar, rng):
+        k1 = self._build(small_xbar, 7)
+        k2 = self._build(small_xbar, 8)
+        codes = make_codes(small_xbar, k1, 6, rng)
+        out1 = k1.mvm_batch(codes, with_noise=True, fused=True)
+        out2 = k2.mvm_batch(codes, with_noise=True, fused=True)
+        assert not np.array_equal(out1, out2)
+
+    def test_noisy_call_advances_shared_stream(self, small_xbar, rng):
+        # Two successive noisy calls must not repeat the same noise.
+        kernel = self._build(small_xbar, 7)
+        codes = make_codes(small_xbar, kernel, 6, rng)
+        out1 = kernel.mvm_batch(codes, with_noise=True, fused=True)
+        out2 = kernel.mvm_batch(codes, with_noise=True, fused=True)
+        assert not np.array_equal(out1, out2)
+
+
+class TestExecutorEquivalence:
+    """run_functional: fused on == PRIME_FUSED=0 fallback, bitwise."""
+
+    def _both(self, executor, compiler, monkeypatch, topology, net, x):
+        plan = compiler.compile(topology)
+        monkeypatch.delenv("PRIME_FUSED", raising=False)
+        fused = executor.run_functional(net, plan, x)
+        monkeypatch.setenv("PRIME_FUSED", "0")
+        assert not fused_enabled()
+        fallback = executor.run_functional(net, plan, x)
+        return fused, fallback
+
+    def test_mlp(
+        self, executor, compiler, monkeypatch, trained_tiny_mlp,
+        tiny_digit_data,
+    ):
+        topology, net = trained_tiny_mlp
+        _, _, x_test, _ = tiny_digit_data
+        fused, fallback = self._both(
+            executor, compiler, monkeypatch, topology, net, x_test[:80]
+        )
+        assert np.array_equal(fused, fallback)
+
+    def test_cnn(
+        self, executor, compiler, monkeypatch, trained_tiny_cnn
+    ):
+        topology, net, x_test, _ = trained_tiny_cnn
+        fused, fallback = self._both(
+            executor, compiler, monkeypatch, topology, net, x_test[:20]
+        )
+        assert np.array_equal(fused, fallback)
+
+
+class TestTelemetryParity:
+    """Both paths charge identical hardware firings."""
+
+    def _run(self, executor, compiler, trained_tiny_mlp, x, fused):
+        import os
+
+        topology, net = trained_tiny_mlp
+        plan = compiler.compile(topology)
+        programmed = executor.program_network(net, plan)
+        session = telemetry.enable(fresh=True)
+        try:
+            if not fused:
+                os.environ["PRIME_FUSED"] = "0"
+            try:
+                executor.run_functional(
+                    net, plan, x, programmed=programmed
+                )
+            finally:
+                os.environ.pop("PRIME_FUSED", None)
+            invocations = session.metrics.counter_total("mvm.invocations")
+            model_time = session.metrics.counter_total("mvm.model_time_ns")
+            energy = session.metrics.counter_total("mvm.energy_nj")
+        finally:
+            telemetry.disable()
+        engine_inv = sum(
+            e.mvm_invocations
+            for layer in programmed
+            for row in layer.tiles
+            for e in row
+        )
+        conversions = sum(
+            e.sense.conversions
+            for layer in programmed
+            for row in layer.tiles
+            for e in row
+        )
+        return invocations, model_time, energy, engine_inv, conversions
+
+    def test_counters_match(
+        self, executor, compiler, trained_tiny_mlp, tiny_digit_data
+    ):
+        _, _, x_test, _ = tiny_digit_data
+        x = x_test[:40]
+        fused = self._run(executor, compiler, trained_tiny_mlp, x, True)
+        walked = self._run(executor, compiler, trained_tiny_mlp, x, False)
+        assert fused == walked
+        assert fused[0] > 0 and fused[4] > 0
+
+
+class TestStreamingChunks:
+    """Chunked run_functional output == unchunked, for every size."""
+
+    @pytest.mark.parametrize("chunk_bytes", [1, 30_000, 200_000])
+    def test_mlp_chunk_sizes(
+        self, executor, compiler, trained_tiny_mlp, tiny_digit_data,
+        chunk_bytes,
+    ):
+        topology, net = trained_tiny_mlp
+        _, _, x_test, _ = tiny_digit_data
+        plan = compiler.compile(topology)
+        whole = executor.run_functional(net, plan, x_test[:80])
+        chunked = executor.run_functional(
+            net, plan, x_test[:80], chunk_bytes=chunk_bytes
+        )
+        assert np.array_equal(whole, chunked)
+
+    def test_cnn_chunked(self, executor, compiler, trained_tiny_cnn):
+        topology, net, x_test, _ = trained_tiny_cnn
+        plan = compiler.compile(topology)
+        whole = executor.run_functional(net, plan, x_test[:24])
+        chunked = executor.run_functional(
+            net, plan, x_test[:24], chunk_bytes=1
+        )
+        assert np.array_equal(whole, chunked)
+
+    def test_env_var_controls_chunking(
+        self, executor, compiler, monkeypatch, trained_tiny_mlp,
+        tiny_digit_data,
+    ):
+        topology, net = trained_tiny_mlp
+        _, _, x_test, _ = tiny_digit_data
+        plan = compiler.compile(topology)
+        whole = executor.run_functional(net, plan, x_test[:70])
+        monkeypatch.setenv("PRIME_FUNC_CHUNK_BYTES", "40000")
+        assert executor._chunk_samples(plan, 70, None) < 70
+        chunked = executor.run_functional(net, plan, x_test[:70])
+        assert np.array_equal(whole, chunked)
+
+    def test_nonpositive_budget_disables_streaming(
+        self, executor, compiler, trained_tiny_mlp
+    ):
+        topology, _ = trained_tiny_mlp
+        plan = compiler.compile(topology)
+        assert executor._chunk_samples(plan, 33, 0) == 33
+        assert executor._chunk_samples(plan, 33, -5) == 33
+
+
+class TestProgrammedLayerState:
+    def test_unpacks_as_legacy_tuple(self, small_xbar, rng):
+        tiles = make_grid(small_xbar, [16], [16], rng)
+        layer = ProgrammedLayer(tiles, "fmt")
+        got_tiles, got_fmt = layer
+        assert got_tiles is tiles and got_fmt == "fmt"
+        assert ProgrammedLayer.coerce(layer) is layer
+        coerced = ProgrammedLayer.coerce((tiles, "fmt"))
+        assert coerced.tiles is tiles
+
+    def test_kernel_cached_and_calibration_resettable(
+        self, small_xbar, rng
+    ):
+        layer = ProgrammedLayer(
+            make_grid(small_xbar, [16], [16], rng), "fmt"
+        )
+        assert layer.kernel is layer.kernel
+        layer.in_fmt = "frozen"
+        layer.output_shift = 3
+        layer.reset_calibration()
+        assert layer.in_fmt is None and layer.output_shift is None
+
+    def test_run_functional_freezes_calibration_once(
+        self, executor, compiler, trained_tiny_mlp, tiny_digit_data
+    ):
+        topology, net = trained_tiny_mlp
+        _, _, x_test, _ = tiny_digit_data
+        plan = compiler.compile(topology)
+        programmed = executor.program_network(net, plan)
+        executor.run_functional(net, plan, x_test[:70], programmed=programmed)
+        frozen = [(p.in_fmt, p.output_shift) for p in programmed]
+        assert all(fmt is not None for fmt, _ in frozen)
+        # A second batch reuses the exact same calibration objects.
+        executor.run_functional(net, plan, x_test[70:90], programmed=programmed)
+        assert [(p.in_fmt, p.output_shift) for p in programmed] == frozen
+
+
+class TestStageBottleneck:
+    def test_matches_per_bank_recompute(self, executor):
+        class M:
+            def __init__(self, bank, copies):
+                self.bank, self.copies = bank, copies
+
+        class C:
+            def __init__(self, latency_s):
+                self.latency_s = latency_s
+
+        class Plan:
+            layers = [M(0, 1), M(0, 2), M(1, 1), M(2, 4), M(1, 1)]
+
+        costs = [C(1.0), C(4.0), C(2.0), C(8.0), C(0.5)]
+        banks = {m.bank for m in Plan.layers}
+        expected = max(
+            sum(
+                c.latency_s / max(m.copies, 1)
+                for m, c in zip(Plan.layers, costs)
+                if m.bank == bank
+            )
+            for bank in banks
+        )
+        assert executor._stage_bottleneck(Plan, costs) == expected
+        assert expected == 3.0  # bank 0: 1.0 + 4.0/2; bank 1: 2.5; bank 2: 2.0
+
+
+class TestInSituCalibrationCache:
+    def _trainer(self, rng):
+        from repro.insitu.trainer import InSituTrainer
+        from repro.nn.layers import Dense, ReLU
+        from repro.nn.network import Sequential
+
+        net = Sequential(
+            [Dense(12, 8, rng=rng), ReLU(), Dense(8, 4, rng=rng)]
+        )
+        return InSituTrainer(net, rng=None)
+
+    def test_shift_cached_across_forwards(self, rng):
+        trainer = self._trainer(rng)
+        x = rng.random((16, 12))
+        trainer.forward(x)
+        layer = trainer.layers[0]
+        shift = layer._cal_shift
+        assert shift is not None
+        trainer.forward(x)
+        assert layer._cal_shift == shift
+
+    def test_unchanged_reprogram_keeps_cache(self, rng):
+        trainer = self._trainer(rng)
+        trainer.forward(rng.random((16, 12)))
+        layer = trainer.layers[0]
+        shift = layer._cal_shift
+        assert layer.program() == 0  # no level moved
+        assert layer._cal_shift == shift
+
+    def test_changed_reprogram_invalidates(self, rng):
+        trainer = self._trainer(rng)
+        trainer.forward(rng.random((16, 12)))
+        layer = trainer.layers[0]
+        layer.dense.weight += 0.5  # move the shadow weights
+        assert layer.program() > 0
+        assert layer._cal_shift is None
+        # next forward recalibrates against the new cells
+        trainer.forward(rng.random((16, 12)))
+        assert layer._cal_shift is not None
