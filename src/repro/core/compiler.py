@@ -36,8 +36,17 @@ class PrimeCompiler:
 
     def __init__(self, config: PrimeConfig = DEFAULT_PRIME_CONFIG) -> None:
         self.config = config
+        policy = config.resilience
         self.rows_cap = config.crossbar.rows
-        self.cols_cap = config.crossbar.logical_cols
+        # Fault sparing reserves redundant logical columns per pair and
+        # healthy spare pairs per bank; tiling and capacity accounting
+        # see only what is left.
+        self.cols_cap = config.crossbar.logical_cols - policy.spare_columns
+        self.capacity = config.pairs_per_bank - policy.spare_pairs_per_bank
+        if self.cols_cap < 1 or self.capacity < 1:
+            raise MappingError(
+                "resilience spares leave no usable columns or pairs"
+            )
 
     # -- public entry ----------------------------------------------------
 
@@ -67,7 +76,7 @@ class PrimeCompiler:
             self._map_layer(t) for t in workload_traffic(topology)
         ]
         base_pairs = sum(m.pairs for m in mappings)
-        capacity = self.config.pairs_per_bank
+        capacity = self.capacity
         total_banks = self.config.organization.total_banks
         if base_pairs > capacity * total_banks:
             raise MappingError(
@@ -89,6 +98,7 @@ class PrimeCompiler:
             notes.append(
                 f"pipelined over {banks_used} banks with inter-bank links"
             )
+        policy = self.config.resilience
         plan = MappingPlan(
             workload=topology.name,
             scale=scale,
@@ -96,6 +106,9 @@ class PrimeCompiler:
             pairs_per_bank=capacity,
             banks_used=banks_used,
             notes=notes,
+            spare_columns=policy.spare_columns,
+            spare_pairs=policy.spare_pairs_per_bank,
+            tile_cols=self.cols_cap,
         )
         # Minimum bank footprint of one network copy, before any
         # replication grows banks_used (consumed by the scheduler).

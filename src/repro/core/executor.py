@@ -29,6 +29,8 @@ from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
 from repro.perf.kernels import FusedLayerKernel
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import DegradationSummary, LayerDegradation
 from repro.units import ns
 
 #: Digital merge cost per extra row block in a split-merge layer.
@@ -63,6 +65,9 @@ class ProgrammedLayer:
         self.in_fmt: DynamicFixedPoint | None = None
         self.output_shift: int | None = None
         self._kernel: FusedLayerKernel | None = None
+        #: Tiles the executor re-programmed onto spare pairs because
+        #: their first engine came up degraded (resilience only).
+        self.remapped_tiles = 0
 
     @classmethod
     def coerce(cls, entry) -> "ProgrammedLayer":
@@ -106,6 +111,9 @@ class PrimeExecutor:
 
     def __init__(self, config: PrimeConfig = DEFAULT_PRIME_CONFIG) -> None:
         self.config = config
+        #: DegradationSummary of the most recent resilience-enabled
+        #: program_network/run_functional, None otherwise.
+        self.last_degradation: DegradationSummary | None = None
 
     # ------------------------------------------------------------------
     # analytical model
@@ -470,6 +478,7 @@ class PrimeExecutor:
                     network, plan, rng=rng, pw=pw
                 )
             layers = [ProgrammedLayer.coerce(p) for p in programmed]
+            self._surface_degradation(plan, layers)
             chunk = self._chunk_samples(plan, batch, chunk_bytes)
             if chunk >= batch:
                 out = self._forward_chunk(network, layers, x, pin, with_noise)
@@ -495,6 +504,34 @@ class PrimeExecutor:
                 out = np.concatenate(pieces, axis=0)
             telemetry.count("executor.functional_runs")
             return out
+
+    def _surface_degradation(
+        self, plan: MappingPlan, layers: list[ProgrammedLayer]
+    ) -> None:
+        """Publish the run's DegradationSummary (None when the plan was
+        programmed open-loop) on :attr:`last_degradation`."""
+        verified = any(
+            engine.program_report is not None
+            for entry in layers
+            for row in entry.tiles
+            for engine in row
+        )
+        if not verified:
+            self.last_degradation = None
+            return
+        summary = self.summarize_degradation(plan, layers)
+        self.last_degradation = summary
+        if telemetry.enabled():
+            telemetry.gauge(
+                "resilience.degraded_tiles",
+                summary.degraded_tiles,
+                workload=plan.workload,
+            )
+            telemetry.gauge(
+                "resilience.masked_columns",
+                summary.masked_columns,
+                workload=plan.workload,
+            )
 
     def _forward_chunk(
         self,
@@ -583,18 +620,27 @@ class PrimeExecutor:
             out.append((w_int, w_fmt))
         return out
 
+    @property
+    def _tile_cols(self) -> int:
+        """Logical columns per tile after the spare-column reservation."""
+        return (
+            self.config.crossbar.logical_cols
+            - self.config.resilience.spare_columns
+        )
+
     def iter_tiles(
         self, mapping: LayerMapping, w_int: np.ndarray
     ):
         """Yield ``(row_block, col_block, tile)`` for one layer matrix."""
         xbar = self.config.crossbar
+        tile_cols = self._tile_cols
         rows, cols = w_int.shape
         for rb in range(mapping.row_blocks):
             r0 = rb * xbar.rows
             r1 = min(r0 + xbar.rows, rows)
             for cb in range(mapping.col_blocks):
-                c0 = cb * xbar.logical_cols
-                c1 = min(c0 + xbar.logical_cols, cols)
+                c0 = cb * tile_cols
+                c1 = min(c0 + tile_cols, cols)
                 yield rb, cb, w_int[r0:r1, c0:c1]
 
     def program_network(
@@ -603,6 +649,7 @@ class PrimeExecutor:
         plan: MappingPlan,
         rng: np.random.Generator | None = None,
         pw: int | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> list[ProgrammedLayer]:
         """Program every layer into fresh standalone engines.
 
@@ -610,13 +657,25 @@ class PrimeExecutor:
         ``(tiles, w_fmt)`` tuple); reusing the list across
         :meth:`run_functional` calls also reuses the fused kernels and
         the frozen per-layer calibration.
+
+        ``resilience`` overrides ``config.resilience``.  With
+        ``verify_writes`` on, every tile programs through the
+        closed-loop verify path; tiles still degraded after column
+        sparing are re-programmed onto healthy spare pairs of their
+        bank while the per-bank ``spare_pairs_per_bank`` budget lasts,
+        and the aggregate outcome lands in :attr:`last_degradation`.
         """
         xbar = self.config.crossbar
+        policy = (
+            resilience if resilience is not None else self.config.resilience
+        )
+        verify = policy if policy.verify_writes else None
         programmed = []
         with telemetry.span(
             "executor.program_network", workload=plan.workload
         ):
             quantized = self.quantize_layer_matrices(network, plan, pw)
+            spare_budget: dict[int, int] = {}
             for mapping, (w_int, w_fmt) in zip(
                 plan.weight_layers, quantized
             ):
@@ -624,12 +683,96 @@ class PrimeExecutor:
                     [None] * mapping.col_blocks
                     for _ in range(mapping.row_blocks)
                 ]
+                layer = ProgrammedLayer(tiles, w_fmt)
                 for rb, cb, tile in self.iter_tiles(mapping, w_int):
                     engine = CrossbarMVMEngine(xbar, rng=rng)
-                    engine.program(tile)
+                    engine.program(tile, resilience=verify)
+                    if verify is not None and engine.degraded:
+                        engine = self._remap_tile(
+                            engine, tile, mapping, rng, verify,
+                            spare_budget, layer,
+                        )
                     tiles[rb][cb] = engine
-                programmed.append(ProgrammedLayer(tiles, w_fmt))
+                programmed.append(layer)
+            if verify is not None:
+                self.last_degradation = self.summarize_degradation(
+                    plan, programmed
+                )
+                if telemetry.enabled():
+                    telemetry.count(
+                        "resilience.degraded_tiles",
+                        self.last_degradation.degraded_tiles,
+                        workload=plan.workload,
+                    )
+            else:
+                self.last_degradation = None
         return programmed
+
+    def _remap_tile(
+        self,
+        engine: CrossbarMVMEngine,
+        tile: np.ndarray,
+        mapping: LayerMapping,
+        rng: np.random.Generator | None,
+        policy: ResiliencePolicy,
+        spare_budget: dict[int, int],
+        layer: ProgrammedLayer,
+    ) -> CrossbarMVMEngine:
+        """Re-program a degraded tile onto spare pairs of its bank.
+
+        Each attempt consumes one of the bank's reserved spare pairs
+        (a fresh physical pair, hence a fresh fault draw); the engine
+        with the fewest masked columns wins.  With the budget
+        exhausted the best engine so far stays, zero-masked.
+        """
+        bank = mapping.bank
+        budget = spare_budget.setdefault(
+            bank, policy.spare_pairs_per_bank
+        )
+        best = engine
+        while best.degraded and budget > 0:
+            budget -= 1
+            layer.remapped_tiles += 1
+            if telemetry.enabled():
+                telemetry.count("resilience.tile_remaps", bank=bank)
+            candidate = CrossbarMVMEngine(self.config.crossbar, rng=rng)
+            candidate.program(tile, resilience=policy)
+            if candidate.masked_columns < best.masked_columns:
+                best = candidate
+        spare_budget[bank] = budget
+        return best
+
+    def summarize_degradation(
+        self, plan: MappingPlan, programmed: list
+    ) -> DegradationSummary:
+        """Aggregate per-engine resilience state into a per-run view."""
+        layers = []
+        for mapping, entry in zip(
+            plan.weight_layers,
+            [ProgrammedLayer.coerce(p) for p in programmed],
+        ):
+            engines = [e for row in entry.tiles for e in row]
+            reports = [
+                e.program_report
+                for e in engines
+                if e.program_report is not None
+            ]
+            layers.append(
+                LayerDegradation(
+                    layer=mapping.traffic.name,
+                    tiles=len(engines),
+                    degraded_tiles=sum(e.degraded for e in engines),
+                    masked_columns=sum(e.masked_columns for e in engines),
+                    spared_columns=sum(e.spared_columns for e in engines),
+                    remapped_tiles=entry.remapped_tiles,
+                    retried_cells=sum(r.retried_cells for r in reports),
+                    failed_cells=sum(r.failed_cells for r in reports),
+                    compensated_cells=sum(
+                        r.compensated_cells for r in reports
+                    ),
+                )
+            )
+        return DegradationSummary(workload=plan.workload, layers=layers)
 
     def _run_weight_layer(
         self,

@@ -124,12 +124,25 @@ class MappingPlan:
     bank_replicas: int = 1
     notes: list[str] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
+    #: Redundant logical columns reserved per pair for fault sparing
+    #: (shrinks the tile width the layers were tiled against).
+    spare_columns: int = 0
+    #: Healthy pairs reserved per bank for whole-tile remapping
+    #: (already subtracted from ``pairs_per_bank``).
+    spare_pairs: int = 0
+    #: Tile width (logical columns per pair) the compiler tiled with;
+    #: 0 means unknown (hand-built plan) and disables the invariant.
+    tile_cols: int = 0
 
     def __post_init__(self) -> None:
         if not self.layers:
             raise MappingError("a plan needs at least one layer")
         if self.banks_used < 1 or self.bank_replicas < 1:
             raise MappingError("bank counts must be >= 1")
+        if self.spare_columns < 0 or self.spare_pairs < 0:
+            raise MappingError("spare reservations must be non-negative")
+        if self.tile_cols < 0:
+            raise MappingError("tile_cols must be non-negative")
 
     @property
     def weight_layers(self) -> list[LayerMapping]:
@@ -188,6 +201,7 @@ class MappingPlan:
             )
 
     def _validate_inner(self) -> None:
+        self._validate_sparing()
         if self.scale is NetworkScale.LARGE:
             capacity = self.banks_used * self.pairs_per_bank
             if self.total_pairs > capacity:
@@ -227,4 +241,26 @@ class MappingPlan:
                 raise MappingError(
                     f"bank {bank} uses {pairs} pairs "
                     f"> capacity {self.pairs_per_bank}"
+                )
+
+    def _validate_sparing(self) -> None:
+        """Check the fault-sparing reservations actually held.
+
+        ``pairs_per_bank`` is the post-reservation capacity, so the
+        per-bank accounting above already keeps the spare pairs free;
+        what remains is to confirm every weight layer was tiled against
+        the shrunken tile width — a layer tiled with fewer column
+        blocks than ``ceil(cols / tile_cols)`` would silently spill
+        into the reserved spare columns.
+        """
+        if self.tile_cols == 0:
+            return
+        for m in self.weight_layers:
+            needed = -(-m.cols // self.tile_cols)
+            if m.col_blocks < needed:
+                raise MappingError(
+                    f"layer {m.traffic.name} tiles {m.cols} columns in "
+                    f"{m.col_blocks} blocks, but the {self.tile_cols}-"
+                    f"column tile (after reserving {self.spare_columns} "
+                    f"spares) needs {needed}"
                 )

@@ -15,8 +15,10 @@ from enum import Enum
 import numpy as np
 
 from repro.errors import CrossbarError
-from repro.device import CellArray, FaultMap
+from repro.device import CellArray, FaultMap, env_fault_rates
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import ProgramReport
 
 
 class ArrayMode(Enum):
@@ -37,6 +39,8 @@ class CrossbarArray:
         track_endurance: bool = False,
     ) -> None:
         self.params = params
+        if fault_map is None:
+            fault_map = self._configured_fault_map(params, rng)
         self.cells = CellArray(
             params.rows,
             params.cols,
@@ -48,6 +52,27 @@ class CrossbarArray:
         self.mode = ArrayMode.MEMORY
         self._stored_bits = np.zeros(
             (params.rows, params.cols), dtype=np.uint8
+        )
+
+    @staticmethod
+    def _configured_fault_map(
+        params: CrossbarParams, rng: np.random.Generator | None
+    ) -> FaultMap | None:
+        """Sample a fault map from the configured (or env) stuck-at
+        rates, so call sites get fault injection end-to-end without
+        hand-constructing maps."""
+        rate_hrs, rate_lrs = params.fault_rate_hrs, params.fault_rate_lrs
+        if rate_hrs <= 0.0 and rate_lrs <= 0.0:
+            rate_hrs, rate_lrs = env_fault_rates()
+        if rate_hrs <= 0.0 and rate_lrs <= 0.0:
+            return None
+        if rng is None:
+            raise CrossbarError(
+                "fault-rate injection needs a seeded rng; pass one to "
+                "the crossbar or clear the fault rates"
+            )
+        return FaultMap.random(
+            params.rows, params.cols, rate_hrs, rate_lrs, rng
         )
 
     # -- mode discipline ------------------------------------------------
@@ -120,8 +145,18 @@ class CrossbarArray:
             )
         return input_levels
 
-    def program_weight_levels(self, levels: np.ndarray) -> None:
-        """Program the full array with MLC synapse levels (compute mode)."""
+    def program_weight_levels(
+        self,
+        levels: np.ndarray,
+        verify: ResiliencePolicy | None = None,
+        verify_mask: np.ndarray | None = None,
+    ) -> ProgramReport | None:
+        """Program the full array with MLC synapse levels (compute mode).
+
+        With ``verify`` set, the cells run their closed-loop
+        write-and-verify pass (optionally restricted to ``verify_mask``)
+        and a :class:`ProgramReport` is returned.
+        """
         self._require(ArrayMode.COMPUTE, "program_weight_levels")
         levels = np.asarray(levels)
         if levels.shape != (self.params.rows, self.params.cols):
@@ -129,7 +164,27 @@ class CrossbarArray:
                 f"levels must be {(self.params.rows, self.params.cols)}, "
                 f"got {levels.shape}"
             )
-        self.cells.program_levels(levels.astype(np.int64))
+        return self.cells.program_levels(
+            levels.astype(np.int64), verify=verify, verify_mask=verify_mask
+        )
+
+    def program_masked_weight_levels(
+        self,
+        mask: np.ndarray,
+        levels: np.ndarray,
+        verify: ResiliencePolicy | None = None,
+    ) -> ProgramReport | None:
+        """Program a subset of cells with synapse levels (compute mode)."""
+        self._require(ArrayMode.COMPUTE, "program_masked_weight_levels")
+        levels = np.asarray(levels)
+        if levels.shape != (self.params.rows, self.params.cols):
+            raise CrossbarError(
+                f"levels must be {(self.params.rows, self.params.cols)}, "
+                f"got {levels.shape}"
+            )
+        return self.cells.program_masked(
+            mask, levels.astype(np.int64), verify=verify
+        )
 
     def analog_mvm_counts(
         self, input_levels: np.ndarray, with_noise: bool = True

@@ -26,6 +26,8 @@ from repro import telemetry
 from repro.errors import CrossbarError
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
 from repro.precision.composing import ComposingSpec, split_unsigned
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import PairProgramReport
 from repro.crossbar.array import ArrayMode
 from repro.crossbar.drivers import WordlineDriver
 from repro.crossbar.pair import DifferentialPair
@@ -62,18 +64,53 @@ class CrossbarMVMEngine:
         self.rows_used = 0
         self.cols_used = 0
         self._programmed = False
+        # Resilience state: physical column slots actually driven
+        # (logical columns + spares), the physical→logical gather after
+        # column sparing, and the zero-mask of dead logical columns.
+        self._prog_cols = 0
+        self._gather: np.ndarray | None = None
+        self._dead: np.ndarray | None = None
+        self.spared_columns = 0
+        #: Verified-programming outcome (None on the open-loop path).
+        self.program_report: PairProgramReport | None = None
         #: Composed MVM firings since construction (one per input
         #: vector), for cost-model cross-validation.
         self.mvm_invocations = 0
 
     # -- programming ------------------------------------------------------
 
-    def program(self, signed_weights: np.ndarray) -> None:
+    def _signed_level_matrix(
+        self, w: np.ndarray, slot0: int
+    ) -> np.ndarray:
+        """Physical signed-level matrix for logical weights ``w``
+        occupying slots ``slot0 .. slot0 + w.shape[1]`` (hi/lo halves in
+        adjacent even/odd bitlines); other cells stay at level 0."""
+        rows, cols = w.shape
+        sign = np.sign(w).astype(np.int64)
+        hi, lo = split_unsigned(np.abs(w).astype(np.int64), self.spec.pw)
+        levels = np.zeros(
+            (self.params.rows, self.params.cols), dtype=np.int64
+        )
+        levels[:rows, 2 * slot0 : 2 * (slot0 + cols) : 2] = sign * hi
+        levels[:rows, 2 * slot0 + 1 : 2 * (slot0 + cols) : 2] = sign * lo
+        return levels
+
+    def program(
+        self,
+        signed_weights: np.ndarray,
+        resilience: ResiliencePolicy | None = None,
+    ) -> PairProgramReport | None:
         """Program a signed integer weight matrix into the pair.
 
         ``signed_weights`` has shape (rows_used, cols_used) with
         ``|w| < 2**pw``; rows_used ≤ physical rows and cols_used ≤
         logical columns.  Unused cells are left at HRS (zero weight).
+
+        With an active ``resilience`` policy (``verify_writes`` true)
+        the write runs the closed-loop verify pass, spares logical
+        columns whose residual weight error exceeds the policy budget
+        into redundant slots, zero-masks whatever the spare capacity
+        cannot absorb, and returns the :class:`PairProgramReport`.
         """
         w = np.asarray(signed_weights)
         if w.ndim != 2:
@@ -93,20 +130,31 @@ class CrossbarMVMEngine:
             raise CrossbarError(
                 f"weight magnitudes must be < 2**{self.spec.pw}"
             )
-        sign = np.sign(w).astype(np.int64)
-        hi, lo = split_unsigned(np.abs(w).astype(np.int64), self.spec.pw)
-        levels = np.zeros(
-            (self.params.rows, self.params.cols), dtype=np.int64
-        )
-        levels[:rows, 0 : 2 * cols : 2] = sign * hi
-        levels[:rows, 1 : 2 * cols : 2] = sign * lo
+        levels = self._signed_level_matrix(w, 0)
         self.pair.set_mode(ArrayMode.COMPUTE)
         self.driver.set_compute_mode(True)
-        self.pair.program_signed_levels(levels)
         self.rows_used = rows
         self.cols_used = cols
-        #: Ideal programmed weights, kept for SA-reference calibration.
+        self._prog_cols = cols
+        self._gather = None
+        self._dead = None
+        self.spared_columns = 0
+        self.program_report = None
+        #: Ideal programmed weights, kept for SA-reference calibration
+        #: (dead columns, if any, are zeroed to match the masked
+        #: outputs).
         self.programmed_weights = w.astype(np.int64).copy()
+        if resilience is None or not resilience.verify_writes:
+            self.pair.program_signed_levels(levels)
+        else:
+            mask = np.zeros(
+                (self.params.rows, self.params.cols), dtype=bool
+            )
+            mask[:rows, : 2 * cols] = True
+            report = self.pair.program_signed_levels(
+                levels, verify=resilience, verify_mask=mask
+            )
+            self._spare_and_mask(w, report, resilience)
         self._programmed = True
         if telemetry.enabled():
             telemetry.count("crossbar.programs")
@@ -115,12 +163,118 @@ class CrossbarMVMEngine:
                 "crossbar.reprogram_ns",
                 rows * self.params.device.t_write * 1e9,
             )
+        return self.program_report
+
+    def _slot_errors(
+        self, residual: np.ndarray, slots: np.ndarray
+    ) -> np.ndarray:
+        """Residual weight error per logical-column slot: the hi-half
+        bitline errors weigh ``2**(pw/2)`` against the lo half."""
+        hi_weight = 1 << (self.spec.pw // 2)
+        hi = residual[: self.rows_used, 2 * slots]
+        lo = residual[: self.rows_used, 2 * slots + 1]
+        return hi_weight * hi.sum(axis=0) + lo.sum(axis=0)
+
+    def _spare_and_mask(
+        self,
+        w: np.ndarray,
+        report: PairProgramReport,
+        policy: ResiliencePolicy,
+    ) -> None:
+        """Route out-of-budget columns into spare slots, mask the rest.
+
+        Column health is judged by the verified residual weight error,
+        not by raw fault counts — differential compensation repairs
+        most stuck cells, so only columns whose *net* error exceeds
+        ``policy.column_error_limit`` consume spares, worst columns
+        first when the budget cannot cover them all.  Spare slots are
+        themselves verified, so a faulty spare can be spared again
+        while budget remains.  Masking is a last resort with its own,
+        much larger ``policy.mask_error_limit``: once spares run out, a
+        column with moderate residual error is kept as-is — zeroing it
+        would discard good weights — and only true garbage is masked.
+        """
+        rows, cols = w.shape
+        gather = np.arange(cols)
+        slot_err = self._slot_errors(report.residual, np.arange(cols))
+        next_slot = cols
+        budget = min(
+            policy.spare_columns, self.params.logical_cols - cols
+        )
+        while budget > 0:
+            bad = np.flatnonzero(
+                slot_err[gather] > policy.column_error_limit
+            )
+            if bad.size == 0:
+                break
+            order = np.argsort(-slot_err[gather][bad], kind="stable")
+            take = bad[order[:budget]]
+            n = int(take.size)
+            new_slots = np.arange(next_slot, next_slot + n)
+            levels = self._signed_level_matrix(w[:, take], next_slot)
+            mask = np.zeros(
+                (self.params.rows, self.params.cols), dtype=bool
+            )
+            mask[:rows, 2 * next_slot : 2 * (next_slot + n)] = True
+            spare_report = self.pair.program_signed_masked(
+                levels, mask, policy
+            )
+            slot_err = np.concatenate(
+                [
+                    slot_err,
+                    self._slot_errors(spare_report.residual, new_slots),
+                ]
+            )
+            report.absorb(spare_report)
+            gather[take] = new_slots
+            next_slot += n
+            budget -= n
+            self.spared_columns += n
+            if telemetry.enabled():
+                telemetry.count("resilience.column_spares", n)
+        dead = slot_err[gather] > policy.mask_error_limit
+        self._prog_cols = next_slot
+        if next_slot > cols:
+            self._gather = gather
+        if dead.any():
+            self._dead = dead
+            self.programmed_weights[:, dead] = 0
+            if telemetry.enabled():
+                telemetry.count(
+                    "resilience.dead_columns", int(dead.sum())
+                )
+        self.program_report = report
 
     @property
     def is_ideal(self) -> bool:
         """True when both halves of the pair hold exact conductances,
         making the noise-free MVM deterministic (integer counts)."""
         return self.pair.positive.is_ideal and self.pair.negative.is_ideal
+
+    @property
+    def remapped(self) -> bool:
+        """True when outputs need post-processing (spared or masked
+        columns) — the fused kernels must fall back to this engine."""
+        return self._gather is not None or self._dead is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one logical column is zero-masked."""
+        return self._dead is not None
+
+    @property
+    def masked_columns(self) -> int:
+        """Logical output columns lost to zero-masking."""
+        return 0 if self._dead is None else int(self._dead.sum())
+
+    def _finalize_outputs(self, out: np.ndarray) -> np.ndarray:
+        """Gather spared columns into logical order and zero the dead
+        ones.  Identity on the open-loop/healthy path."""
+        if self._gather is not None:
+            out = out[..., self._gather]
+        if self._dead is not None:
+            out[..., self._dead] = 0
+        return out
 
     # -- execution --------------------------------------------------------
 
@@ -207,15 +361,17 @@ class CrossbarMVMEngine:
         in_hi, in_lo = split_unsigned(inputs.astype(np.int64), self.spec.pin)
         counts_hi = self._drive_phase(in_hi, with_noise)
         counts_lo = self._drive_phase(in_lo, with_noise)
-        even = slice(0, 2 * self.cols_used, 2)
-        odd = slice(1, 2 * self.cols_used, 2)
+        even = slice(0, 2 * self._prog_cols, 2)
+        odd = slice(1, 2 * self._prog_cols, 2)
         part_counts = {
             "HH": counts_hi[even],
             "LH": counts_hi[odd],
             "HL": counts_lo[even],
             "LL": counts_lo[odd],
         }
-        return self._accumulate_parts(part_counts, shift)
+        return self._finalize_outputs(
+            self._accumulate_parts(part_counts, shift)
+        )
 
     def mvm_batch(
         self,
@@ -253,15 +409,17 @@ class CrossbarMVMEngine:
         counts = self.pair.analog_mvm_counts(padded, with_noise=with_noise)
         counts_hi = counts[: inputs.shape[0]]
         counts_lo = counts[inputs.shape[0] :]
-        even = slice(0, 2 * self.cols_used, 2)
-        odd = slice(1, 2 * self.cols_used, 2)
+        even = slice(0, 2 * self._prog_cols, 2)
+        odd = slice(1, 2 * self._prog_cols, 2)
         part_counts = {
             "HH": counts_hi[:, even],
             "LH": counts_hi[:, odd],
             "HL": counts_lo[:, even],
             "LL": counts_lo[:, odd],
         }
-        return self._accumulate_parts(part_counts, shift)
+        return self._finalize_outputs(
+            self._accumulate_parts(part_counts, shift)
+        )
 
     def _drive_phase(
         self, half_codes: np.ndarray, with_noise: bool

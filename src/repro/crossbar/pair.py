@@ -15,6 +15,8 @@ import numpy as np
 from repro.errors import CrossbarError
 from repro.device import FaultMap
 from repro.params.crossbar import CrossbarParams, DEFAULT_CROSSBAR
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import PairProgramReport
 from repro.crossbar.array import ArrayMode, CrossbarArray
 
 
@@ -44,13 +46,24 @@ class DifferentialPair:
         self.positive.set_mode(mode)
         self.negative.set_mode(mode)
 
-    def program_signed_levels(self, signed_levels: np.ndarray) -> None:
+    def program_signed_levels(
+        self,
+        signed_levels: np.ndarray,
+        verify: ResiliencePolicy | None = None,
+        verify_mask: np.ndarray | None = None,
+    ) -> PairProgramReport | None:
         """Program a signed level matrix into the pair.
 
         ``signed_levels`` has shape (rows, cols) with entries in
         (-mlc_levels, mlc_levels); positives go to the positive array,
         negative magnitudes to the negative array, and the complementary
         cells stay at level 0 (HRS).
+
+        With ``verify`` set, both halves run their write-and-verify
+        loops (restricted to ``verify_mask`` when given), irrecoverable
+        cells are repaired where possible by re-targeting the healthy
+        complementary cell (differential compensation), and the
+        combined outcome is returned as a :class:`PairProgramReport`.
         """
         signed_levels = np.asarray(signed_levels)
         limit = self.params.device.mlc_levels
@@ -60,8 +73,114 @@ class DifferentialPair:
             )
         pos = np.clip(signed_levels, 0, None).astype(np.int64)
         neg = np.clip(-signed_levels, 0, None).astype(np.int64)
-        self.positive.program_weight_levels(pos)
-        self.negative.program_weight_levels(neg)
+        if verify is None:
+            self.positive.program_weight_levels(pos)
+            self.negative.program_weight_levels(neg)
+            return None
+        if verify_mask is None:
+            verify_mask = np.ones(signed_levels.shape, dtype=bool)
+        report_pos = self.positive.program_weight_levels(
+            pos, verify=verify, verify_mask=verify_mask
+        )
+        report_neg = self.negative.program_weight_levels(
+            neg, verify=verify, verify_mask=verify_mask
+        )
+        return self._compensate(
+            signed_levels.astype(np.int64),
+            verify_mask,
+            report_pos,
+            report_neg,
+            verify,
+        )
+
+    def program_signed_masked(
+        self,
+        signed_levels: np.ndarray,
+        mask: np.ndarray,
+        verify: ResiliencePolicy,
+    ) -> PairProgramReport:
+        """Verified programming of a cell subset (spare-column passes)."""
+        signed_levels = np.asarray(signed_levels)
+        limit = self.params.device.mlc_levels
+        if np.any(np.abs(signed_levels) >= limit):
+            raise CrossbarError(
+                f"signed levels must have magnitude < {limit}"
+            )
+        pos = np.clip(signed_levels, 0, None).astype(np.int64)
+        neg = np.clip(-signed_levels, 0, None).astype(np.int64)
+        report_pos = self.positive.program_masked_weight_levels(
+            mask, pos, verify=verify
+        )
+        report_neg = self.negative.program_masked_weight_levels(
+            mask, neg, verify=verify
+        )
+        return self._compensate(
+            signed_levels.astype(np.int64),
+            np.asarray(mask, dtype=bool),
+            report_pos,
+            report_neg,
+            verify,
+        )
+
+    def _compensate(
+        self,
+        desired: np.ndarray,
+        mask: np.ndarray,
+        report_pos,
+        report_neg,
+        policy: ResiliencePolicy,
+    ) -> PairProgramReport:
+        """Differential compensation of irrecoverable cells.
+
+        A cell stuck in one array can often be cancelled by moving its
+        complementary cell off the HRS baseline: the pair computes
+        ``pos - neg``, so when the positive cell is frozen at level
+        ``s`` the negative cell is re-targeted to ``clip(s - d, 0,
+        L-1)`` (``d`` the desired signed level), restoring the exact
+        difference whenever it lies in the achievable window.  The
+        compensation writes run their own verify loop; whatever error
+        is left lands in the residual matrix for the engine's
+        column-health accounting.
+        """
+        limit = self.params.device.mlc_levels - 1
+        compensated = 0
+        bad_pos = report_pos.failed
+        bad_neg = report_neg.failed
+        if bad_pos.any() or bad_neg.any():
+            achieved_pos = np.rint(
+                self.positive.cells.readback_levels()
+            ).astype(np.int64)
+            achieved_neg = np.rint(
+                self.negative.cells.readback_levels()
+            ).astype(np.int64)
+            fix_via_neg = bad_pos & ~bad_neg
+            fix_via_pos = bad_neg & ~bad_pos
+            if fix_via_neg.any():
+                target = np.clip(achieved_pos - desired, 0, limit)
+                repair = self.negative.program_masked_weight_levels(
+                    fix_via_neg, target, verify=policy
+                )
+                report_neg.absorb(repair)
+                compensated += int(fix_via_neg.sum())
+            if fix_via_pos.any():
+                target = np.clip(desired + achieved_neg, 0, limit)
+                repair = self.positive.program_masked_weight_levels(
+                    fix_via_pos, target, verify=policy
+                )
+                report_pos.absorb(repair)
+                compensated += int(fix_via_pos.sum())
+        achieved = (
+            self.positive.cells.readback_levels()
+            - self.negative.cells.readback_levels()
+        )
+        residual = np.abs(achieved - desired)
+        residual[~mask] = 0.0
+        return PairProgramReport(
+            positive=report_pos,
+            negative=report_neg,
+            compensated_cells=compensated,
+            residual=residual,
+        )
 
     def analog_mvm_counts(
         self, input_levels: np.ndarray, with_noise: bool = True

@@ -8,7 +8,19 @@
 """
 
 from repro.device.cell import CellArray
-from repro.device.faults import FaultMap, StuckAtFault
+from repro.device.faults import (
+    FAULT_RATES_ENV,
+    FaultMap,
+    StuckAtFault,
+    env_fault_rates,
+)
 from repro.device.endurance import EnduranceTracker
 
-__all__ = ["CellArray", "FaultMap", "StuckAtFault", "EnduranceTracker"]
+__all__ = [
+    "CellArray",
+    "FaultMap",
+    "StuckAtFault",
+    "EnduranceTracker",
+    "FAULT_RATES_ENV",
+    "env_fault_rates",
+]

@@ -9,6 +9,7 @@ rest of the stack can study accuracy degradation under yield loss.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from enum import Enum
 
@@ -16,6 +17,46 @@ import numpy as np
 
 from repro.errors import DeviceError
 from repro.params.reram import ReRAMDeviceParams
+
+
+#: Environment knob injecting stuck-at faults into every crossbar that
+#: doesn't configure explicit rates: a single rate ("0.01", split
+#: evenly between HRS and LRS) or an explicit "hrs,lrs" pair
+#: ("0.004,0.006").
+FAULT_RATES_ENV = "PRIME_FAULT_RATES"
+
+
+def env_fault_rates() -> tuple[float, float]:
+    """Parse :data:`FAULT_RATES_ENV` into ``(rate_hrs, rate_lrs)``.
+
+    Returns ``(0.0, 0.0)`` when the variable is unset or empty.  Note
+    that, like the other ``PRIME_*`` env knobs, the value does not
+    enter :mod:`repro.perf` cache keys — clear caches when sweeping it
+    out-of-band, or prefer the explicit config fields.
+    """
+    raw = os.environ.get(FAULT_RATES_ENV, "").strip()
+    if not raw:
+        return (0.0, 0.0)
+    parts = [p.strip() for p in raw.split(",")]
+    try:
+        values = [float(p) for p in parts]
+    except ValueError as exc:
+        raise DeviceError(
+            f"{FAULT_RATES_ENV} must be 'rate' or 'hrs,lrs', got {raw!r}"
+        ) from exc
+    if len(values) == 1:
+        rate_hrs = rate_lrs = values[0] / 2.0
+    elif len(values) == 2:
+        rate_hrs, rate_lrs = values
+    else:
+        raise DeviceError(
+            f"{FAULT_RATES_ENV} must be 'rate' or 'hrs,lrs', got {raw!r}"
+        )
+    if rate_hrs < 0 or rate_lrs < 0 or rate_hrs + rate_lrs > 1:
+        raise DeviceError(
+            f"{FAULT_RATES_ENV} rates must be non-negative and sum <= 1"
+        )
+    return (rate_hrs, rate_lrs)
 
 
 class StuckAtFault(Enum):

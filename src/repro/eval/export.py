@@ -19,6 +19,7 @@ from repro.eval.experiments import (
 )
 from repro.eval.precision_study import PrecisionStudyResult
 from repro.eval.workloads import MLBENCH_ORDER
+from repro.eval.yield_study import YieldStudyResult
 
 
 def _open(path: str | Path):
@@ -111,6 +112,43 @@ def export_figure12(result: Figure12Result, path: str | Path) -> None:
         )
         for name, frac in result.mat_breakdown.items():
             writer.writerow([f"mat_share:{name}", f"{frac:.6f}"])
+
+
+_DEGRADATION_COLUMNS = (
+    "degraded_tiles",
+    "masked_columns",
+    "spared_columns",
+    "remapped_tiles",
+    "retried_cells",
+    "failed_cells",
+    "compensated_cells",
+)
+
+
+def export_yield_study(result: YieldStudyResult, path: str | Path) -> None:
+    """One row per (fault rate, resilience mode) point.
+
+    Accuracy plus the degradation tallies of resilient runs; open-loop
+    points leave the degradation columns blank.
+    """
+    with _open(path) as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["fault_rate", "resilient", "accuracy", *_DEGRADATION_COLUMNS]
+        )
+        writer.writerow(
+            ["float", "", f"{result.float_accuracy:.4f}"]
+            + [""] * len(_DEGRADATION_COLUMNS)
+        )
+        points = sorted(
+            result.points, key=lambda p: (p.fault_rate, p.resilient)
+        )
+        for p in points:
+            deg = p.degradation or {}
+            writer.writerow(
+                [f"{p.fault_rate:.4f}", int(p.resilient), f"{p.accuracy:.4f}"]
+                + [deg.get(col, "") for col in _DEGRADATION_COLUMNS]
+            )
 
 
 def export_all(directory: str | Path, batch: int = 4096) -> list[Path]:

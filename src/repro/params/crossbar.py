@@ -71,10 +71,25 @@ class CrossbarParams:
     e_sa_conversion: float = 2.0 * pJ
     e_sub_sigmoid: float = 0.3 * pJ
     device: ReRAMDeviceParams = PT_TIO2_DEVICE
+    #: Stuck-at fault rates sampled into a fresh ``FaultMap.random``
+    #: per crossbar array (from the array's seeded rng) when no
+    #: explicit map is supplied.  Zero (the default) disables
+    #: injection; the ``PRIME_FAULT_RATES`` env knob fills in when both
+    #: rates are zero.
+    fault_rate_hrs: float = 0.0
+    fault_rate_lrs: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rows < 1 or self.cols < 1:
             raise ConfigurationError("crossbar dimensions must be positive")
+        if (
+            self.fault_rate_hrs < 0
+            or self.fault_rate_lrs < 0
+            or self.fault_rate_hrs + self.fault_rate_lrs > 1
+        ):
+            raise ConfigurationError(
+                "fault rates must be non-negative and sum <= 1"
+            )
         if self.sense_amps < 1 or self.cols % self.sense_amps != 0:
             raise ConfigurationError(
                 "cols must be a positive multiple of sense_amps"

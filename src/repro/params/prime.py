@@ -17,6 +17,7 @@ from repro.params.memory import (
     DEFAULT_ORGANIZATION,
     DEFAULT_TIMING,
 )
+from repro.resilience.policy import ResiliencePolicy, DEFAULT_RESILIENCE
 from repro.units import ns, pJ
 
 
@@ -57,6 +58,9 @@ class PrimeConfig:
     e_interbank_per_byte: float = 5.0 * pJ
     t_reconfig: float = 100.0 * ns
     t_buffer_access: float = 5.0 * ns
+    #: Fault-tolerance knobs: program-and-verify, column/pair sparing,
+    #: zero-masking.  The default leaves resilience off entirely.
+    resilience: ResiliencePolicy = DEFAULT_RESILIENCE
     field_validation: bool = field(default=True, repr=False)
 
     def __post_init__(self) -> None:
@@ -73,6 +77,14 @@ class PrimeConfig:
         if self.crossbar.cols != self.organization.mat_cols:
             raise ConfigurationError(
                 "crossbar cols must match the mat geometry"
+            )
+        if self.resilience.spare_columns >= self.crossbar.logical_cols:
+            raise ConfigurationError(
+                "spare_columns must leave at least one usable column"
+            )
+        if self.resilience.spare_pairs_per_bank >= self.pairs_per_bank:
+            raise ConfigurationError(
+                "spare_pairs_per_bank must leave at least one usable pair"
             )
 
     @property

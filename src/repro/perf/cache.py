@@ -266,6 +266,11 @@ def reference_network(
             logger.warning(
                 "evicting unreadable cache entry %s: %s", entry, exc
             )
+            telemetry.count(
+                "perf.cache.corrupt",
+                kind="reference_network",
+                error=type(exc).__name__,
+            )
             cache.evict("reference_network", key)
     with telemetry.span(
         "perf.cache.train", kind="reference_network", workload=workload
@@ -320,6 +325,11 @@ def mapping_plan(
         except Exception as exc:
             logger.warning(
                 "evicting unreadable cache entry %s: %s", entry, exc
+            )
+            telemetry.count(
+                "perf.cache.corrupt",
+                kind="mapping_plan",
+                error=type(exc).__name__,
             )
             cache.evict("mapping_plan", key)
     plan = PrimeCompiler(config).compile(wl.topology())

@@ -141,6 +141,12 @@ class FusedLayerKernel:
             )
         )
 
+    @property
+    def _remapped(self) -> bool:
+        """Any engine routes outputs through resilience post-processing
+        (spared/gathered or zero-masked columns)."""
+        return any(e.remapped for row in self.tiles for e in row)
+
     def can_fuse(self, with_noise: bool) -> bool:
         """Whether a fused evaluation preserves the engine semantics.
 
@@ -149,9 +155,13 @@ class FusedLayerKernel:
         drop) — exactly the regime where the per-engine path is
         deterministic too.  Noisy calls fuse through the stacked analog
         path, which needs all engines to share one RNG so a single
-        derived seed covers every tile.  Anything else falls back to
-        the per-engine loop, which handles arbitrary conductance state.
+        derived seed covers every tile.  Engines whose outputs pass
+        through resilience post-processing (column sparing / masking)
+        never fuse.  Anything else falls back to the per-engine loop,
+        which handles arbitrary conductance state.
         """
+        if self._remapped:
+            return False
         if self._noisy(with_noise):
             return self._rng_shared and self._rng is not None
         return self.is_ideal

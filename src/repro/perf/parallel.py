@@ -26,6 +26,7 @@ import logging
 import math
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
@@ -34,6 +35,17 @@ from repro import telemetry
 from repro.errors import ConfigurationError
 
 logger = logging.getLogger("repro.perf")
+
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """Raised (once per process) when a requested worker pool could not
+    be created and :func:`parallel_map` ran serially instead.
+
+    Structured so callers/benchmarks can filter on the category; the
+    degraded parallelism also shows up as the
+    ``perf.parallel.fallback`` telemetry counter, labelled with the
+    exception type that broke the pool.
+    """
 
 #: Target chunks per worker: small enough to balance uneven tasks,
 #: large enough to amortise pickling.
@@ -129,9 +141,22 @@ def parallel_map(
         pickle.PicklingError,
     ) as exc:
         logger.warning(
-            "process pool unavailable (%s: %s); running serially",
+            "process pool unavailable (%s: %s); running %d tasks "
+            "serially",
             type(exc).__name__,
             exc,
+            len(tasks),
         )
-        telemetry.count("perf.parallel.fallback")
+        # The default warning filter dedupes on (message, category,
+        # location), so keeping the message stable means a sweep that
+        # falls back on every call surfaces a single warning.
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}); "
+            "parallel_map running serially",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
+        telemetry.count(
+            "perf.parallel.fallback", reason=type(exc).__name__
+        )
         return _serial_map(fn, tasks, initializer, initargs)

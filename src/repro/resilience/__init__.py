@@ -1,0 +1,26 @@
+"""Fault tolerance for the PRIME stack.
+
+Closes the loop from injected device defects back to system behaviour:
+closed-loop program-and-verify with a bounded retry budget
+(:class:`ResiliencePolicy`), differential compensation and column
+sparing in the crossbar engine, whole-tile remapping in the executor,
+and zero-weight masking as the graceful-degradation floor — all
+reported through :class:`ProgramReport` / :class:`DegradationSummary`.
+"""
+
+from repro.resilience.policy import ResiliencePolicy, DEFAULT_RESILIENCE
+from repro.resilience.report import (
+    DegradationSummary,
+    LayerDegradation,
+    PairProgramReport,
+    ProgramReport,
+)
+
+__all__ = [
+    "ResiliencePolicy",
+    "DEFAULT_RESILIENCE",
+    "ProgramReport",
+    "PairProgramReport",
+    "LayerDegradation",
+    "DegradationSummary",
+]

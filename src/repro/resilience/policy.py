@@ -1,0 +1,93 @@
+"""Resilience policy knobs.
+
+A :class:`ResiliencePolicy` bundles every fault-tolerance decision the
+stack makes, from the device-level write-and-verify loop up to the
+executor's tile remapping.  It lives in :mod:`repro.resilience` (pure
+data, no imports from the device/crossbar layers) so both
+:class:`repro.params.prime.PrimeConfig` and the low-level programming
+paths can consume it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Fault-tolerance configuration for programming and mapping.
+
+    Attributes
+    ----------
+    verify_writes:
+        Master switch for the closed-loop program-and-verify path.
+        When false (the default) programming behaves exactly as before
+        the resilience layer existed — no readback, no reports — so
+        existing runs stay bit-identical.
+    max_retries:
+        Bounded pulse budget: how many extra write rounds a cell that
+        reads back outside tolerance may receive before it is declared
+        irrecoverable.
+    tolerance_steps:
+        Verify tolerance in conductance-step units.  A cell passes when
+        its readback conductance is within ``tolerance_steps * g_step``
+        of the ideal mapping of its target level.
+    retry_sigma_scale:
+        Per-retry tightening of the programming variation: each retry
+        round multiplies the effective ``programming_sigma`` by this
+        factor, modelling the slower, finer pulses of a real tuning
+        loop.
+    spare_columns:
+        Redundant logical columns reserved per crossbar pair.  The
+        compiler shrinks its tile width accordingly and the engine
+        re-routes columns whose residual weight error exceeds
+        ``column_error_limit`` into the reserve.
+    spare_pairs_per_bank:
+        Healthy spare mat pairs reserved per bank for whole-tile
+        remapping when column sparing is exhausted.
+    column_error_limit:
+        Sparing trigger: residual weight-error budget per logical
+        column, in units of integer weight steps summed over the column
+        (high-half bitline errors weigh ``2**(pw/2)``).  Columns above
+        the budget are rerouted into spare slots, worst first, while
+        spare capacity remains.
+    mask_error_limit:
+        Last-resort masking threshold, same units.  A column that still
+        exceeds this (much larger) budget after sparing is zero-masked:
+        dropping its whole contribution beats keeping a column of
+        garbage, but masking a merely-imperfect column would discard
+        good weights, so the two thresholds are deliberately far apart.
+    """
+
+    verify_writes: bool = False
+    max_retries: int = 3
+    tolerance_steps: float = 0.5
+    retry_sigma_scale: float = 0.5
+    spare_columns: int = 0
+    spare_pairs_per_bank: int = 0
+    column_error_limit: float = 192.0
+    mask_error_limit: float = 4096.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.tolerance_steps <= 0.0:
+            raise ConfigurationError("tolerance_steps must be positive")
+        if not 0.0 <= self.retry_sigma_scale <= 1.0:
+            raise ConfigurationError(
+                "retry_sigma_scale must be in [0, 1]"
+            )
+        if self.spare_columns < 0 or self.spare_pairs_per_bank < 0:
+            raise ConfigurationError("spare capacities must be non-negative")
+        if self.column_error_limit <= 0.0:
+            raise ConfigurationError("column_error_limit must be positive")
+        if self.mask_error_limit < self.column_error_limit:
+            raise ConfigurationError(
+                "mask_error_limit must be >= column_error_limit"
+            )
+
+
+#: Resilience disabled: the stack behaves exactly as the seed repo.
+DEFAULT_RESILIENCE = ResiliencePolicy()

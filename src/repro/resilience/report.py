@@ -1,0 +1,178 @@
+"""Structured results of verified programming and degraded execution.
+
+The report types are plain data: the device layer fills a
+:class:`ProgramReport` per array, the differential pair combines two of
+them (plus its compensation bookkeeping) into a
+:class:`PairProgramReport`, and the executor aggregates per-engine
+state into a :class:`DegradationSummary` that ``run_functional``
+surfaces per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ProgramReport:
+    """Outcome of one verified programming operation on a cell array.
+
+    Attributes
+    ----------
+    programmed_cells:
+        Cells covered by the verify mask.
+    retry_rounds:
+        Verify/rewrite rounds actually executed (≤ ``max_retries``).
+    retried_cells:
+        Total cell-writes issued by the retry rounds (a cell retried
+        twice counts twice).
+    failed:
+        Boolean (rows, cols) mask of cells still outside tolerance
+        after the pulse budget was exhausted — stuck-at faults, mostly.
+    """
+
+    programmed_cells: int
+    retry_rounds: int
+    retried_cells: int
+    failed: np.ndarray
+
+    @property
+    def failed_count(self) -> int:
+        return int(self.failed.sum())
+
+    @property
+    def clean(self) -> bool:
+        """True when every verified cell landed inside tolerance
+        without any retries — the no-op case on ideal arrays."""
+        return self.retried_cells == 0 and self.failed_count == 0
+
+    def absorb(self, other: "ProgramReport") -> None:
+        """Fold a follow-up report (disjoint region) into this one."""
+        self.programmed_cells += other.programmed_cells
+        self.retry_rounds = max(self.retry_rounds, other.retry_rounds)
+        self.retried_cells += other.retried_cells
+        self.failed |= other.failed
+
+
+@dataclass
+class PairProgramReport:
+    """Verified-programming outcome for a differential pair.
+
+    ``residual`` holds, per physical bitline cell, the absolute error
+    between the achieved signed level difference (positive minus
+    negative array readback) and the desired signed level — zero
+    outside the verified region.  The engine folds it into per-column
+    weight errors to decide sparing and masking.
+    """
+
+    positive: ProgramReport
+    negative: ProgramReport
+    compensated_cells: int
+    residual: np.ndarray = field(repr=False)
+
+    @property
+    def programmed_cells(self) -> int:
+        return self.positive.programmed_cells + self.negative.programmed_cells
+
+    @property
+    def retried_cells(self) -> int:
+        return self.positive.retried_cells + self.negative.retried_cells
+
+    @property
+    def failed_cells(self) -> int:
+        return self.positive.failed_count + self.negative.failed_count
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.positive.clean
+            and self.negative.clean
+            and self.compensated_cells == 0
+        )
+
+    def absorb(self, other: "PairProgramReport") -> None:
+        """Fold a follow-up report over a disjoint cell region (e.g. a
+        spare-column programming pass) into this one."""
+        self.positive.absorb(other.positive)
+        self.negative.absorb(other.negative)
+        self.compensated_cells += other.compensated_cells
+        self.residual = np.maximum(self.residual, other.residual)
+
+
+@dataclass(frozen=True)
+class LayerDegradation:
+    """Aggregated resilience outcome for one mapped weight layer."""
+
+    layer: str
+    tiles: int
+    degraded_tiles: int
+    masked_columns: int
+    spared_columns: int
+    remapped_tiles: int
+    retried_cells: int
+    failed_cells: int
+    compensated_cells: int
+
+
+@dataclass
+class DegradationSummary:
+    """Per-run resilience outcome surfaced by ``run_functional``."""
+
+    workload: str
+    layers: list[LayerDegradation]
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(layer, attr) for layer in self.layers)
+
+    @property
+    def tiles(self) -> int:
+        return self._total("tiles")
+
+    @property
+    def degraded_tiles(self) -> int:
+        return self._total("degraded_tiles")
+
+    @property
+    def masked_columns(self) -> int:
+        return self._total("masked_columns")
+
+    @property
+    def spared_columns(self) -> int:
+        return self._total("spared_columns")
+
+    @property
+    def remapped_tiles(self) -> int:
+        return self._total("remapped_tiles")
+
+    @property
+    def retried_cells(self) -> int:
+        return self._total("retried_cells")
+
+    @property
+    def failed_cells(self) -> int:
+        return self._total("failed_cells")
+
+    @property
+    def compensated_cells(self) -> int:
+        return self._total("compensated_cells")
+
+    @property
+    def clean(self) -> bool:
+        """No tile lost a single output column."""
+        return self.degraded_tiles == 0 and self.masked_columns == 0
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat, JSON/CSV-friendly view (used by the yield study)."""
+        return {
+            "workload": self.workload,
+            "tiles": self.tiles,
+            "degraded_tiles": self.degraded_tiles,
+            "masked_columns": self.masked_columns,
+            "spared_columns": self.spared_columns,
+            "remapped_tiles": self.remapped_tiles,
+            "retried_cells": self.retried_cells,
+            "failed_cells": self.failed_cells,
+            "compensated_cells": self.compensated_cells,
+        }

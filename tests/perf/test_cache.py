@@ -115,6 +115,29 @@ class TestReferenceNetworkRoundTrip:
         net3, _, _ = reference_network(cache=cache, **TRAIN_KW)
         assert net3.weights_fingerprint() == net1.weights_fingerprint()
 
+    def test_truncated_entry_recovers_and_counts(self, cache, metrics):
+        """A partially-written payload must never propagate the load
+        error: the entry is evicted, the artifact retrained, and the
+        corruption surfaces as the ``perf.cache.corrupt`` counter."""
+        net1, x1, _ = reference_network(cache=cache, **TRAIN_KW)
+        key = reference_network_key(
+            TRAIN_KW["workload"],
+            TRAIN_KW["n_train"],
+            TRAIN_KW["n_test"],
+            TRAIN_KW["epochs"],
+            TRAIN_KW["seed"],
+        )
+        entry = cache.entry_dir("reference_network", key)
+        payload = (entry / "weights.npz").read_bytes()
+        (entry / "weights.npz").write_bytes(payload[: len(payload) // 2])
+        net2, x2, _ = reference_network(cache=cache, **TRAIN_KW)
+        assert net1.weights_fingerprint() == net2.weights_fingerprint()
+        np.testing.assert_array_equal(x1, x2)
+        assert telemetry.counter_total("perf.cache.corrupt") == 1
+        # The rebuilt entry is whole again: hits without new corruption.
+        reference_network(cache=cache, **TRAIN_KW)
+        assert telemetry.counter_total("perf.cache.corrupt") == 1
+
     def test_disable_bypasses_storage(self, cache):
         perf_cache.disable()
         try:
@@ -135,6 +158,22 @@ class TestMappingPlanRoundTrip:
             == 1
         )
         assert plan2 == plan1
+
+    def test_truncated_plan_recovers_and_counts(self, cache, metrics):
+        plan1 = mapping_plan("MLP-S", cache=cache)
+        entry_dir = next(cache.root.glob("mapping_plan/*/*"))
+        pkl = entry_dir / "plan.pkl"
+        pkl.write_bytes(pkl.read_bytes()[:16])
+        plan2 = mapping_plan("MLP-S", cache=cache)
+        assert plan2 == plan1
+        assert (
+            telemetry.counter_value(
+                "perf.cache.corrupt",
+                kind="mapping_plan",
+                error="UnpicklingError",
+            )
+            == 1
+        )
 
     def test_workloads_do_not_collide(self, cache):
         plan_s = mapping_plan("MLP-S", cache=cache)

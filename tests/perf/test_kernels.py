@@ -126,6 +126,118 @@ class TestFusedBitIdentity:
         )
 
 
+class TestFaultyPlanFallback:
+    """Engines with spared/masked columns must never fuse: the fused
+    paths bypass the per-engine gather/zero-mask post-processing."""
+
+    pytestmark = pytest.mark.resilience
+
+    def _grids(self, count=1):
+        import dataclasses
+
+        from repro.crossbar.pair import DifferentialPair
+        from repro.device.faults import FaultMap
+        from repro.params.crossbar import CrossbarParams
+        from repro.params.reram import PT_TIO2_DEVICE
+        from repro.resilience import ResiliencePolicy
+
+        params = CrossbarParams(
+            rows=32,
+            cols=32,
+            sense_amps=8,
+            device=dataclasses.replace(
+                PT_TIO2_DEVICE,
+                programming_sigma=0.0,
+                read_noise_sigma=0.0,
+            ),
+        )
+        policy = ResiliencePolicy(verify_writes=True, spare_columns=2)
+        weights = np.random.default_rng(21)
+        w_bad = weights.integers(-15, 16, size=(16, 6))
+        w_ok = weights.integers(-255, 256, size=(16, 9))
+        grids = []
+        for _ in range(count):
+            pos = FaultMap.none(params.rows, params.cols)
+            neg = FaultMap.none(params.rows, params.cols)
+            pos.stuck_lrs[:16, 4] = True  # logical column 2, hi bitline
+            neg.stuck_hrs[:16, 4] = True
+            broken = CrossbarMVMEngine(params)
+            broken.pair = DifferentialPair(
+                params, fault_maps=(pos, neg)
+            )
+            broken.program(w_bad, resilience=policy)
+            assert broken.remapped
+            healthy = CrossbarMVMEngine(params)
+            healthy.pair = DifferentialPair(
+                params,
+                fault_maps=(
+                    FaultMap.none(params.rows, params.cols),
+                    FaultMap.none(params.rows, params.cols),
+                ),
+            )
+            healthy.program(w_ok, resilience=policy)
+            grids.append([[broken, healthy]])
+        return params, grids
+
+    def test_remapped_grid_declines_to_fuse(self):
+        params, (tiles,) = self._grids()
+        kernel = FusedLayerKernel(tiles)
+        assert not kernel.can_fuse(with_noise=False)
+        assert not kernel.can_fuse(with_noise=True)
+
+    def test_fallback_matches_fresh_per_engine_run(self, rng):
+        params, (tiles, twin) = self._grids(count=2)
+        kernel = FusedLayerKernel(tiles)
+        codes = make_codes(params, kernel, 11, rng)
+        auto = kernel.mvm_batch(codes, with_noise=False)
+        forced_walk = kernel.mvm_batch(
+            codes, with_noise=False, fused=False
+        )
+        assert np.array_equal(auto, forced_walk)
+        # A never-fused twin grid, walked engine by engine, agrees.
+        fresh = np.concatenate(
+            [
+                twin[0][0].mvm_batch(codes[:, :16], with_noise=False),
+                twin[0][1].mvm_batch(codes[:, :16], with_noise=False),
+            ],
+            axis=1,
+        )
+        assert np.array_equal(auto, fresh)
+
+    def test_fallback_counters_match_walk(self, rng):
+        params, (tiles, twin) = self._grids(count=2)
+        codes = make_codes(params, FusedLayerKernel(tiles), 7, rng)
+
+        def run(grid):
+            kernel = FusedLayerKernel(grid)
+            session = telemetry.enable(fresh=True)
+            try:
+                kernel.mvm_batch(codes, with_noise=False)
+                return (
+                    session.metrics.counter_total("mvm.invocations"),
+                    session.metrics.counter_total("mvm.model_time_ns"),
+                    session.metrics.counter_total("mvm.energy_nj"),
+                )
+            finally:
+                telemetry.disable()
+
+        auto = run(tiles)
+        walked_session = telemetry.enable(fresh=True)
+        try:
+            FusedLayerKernel(twin).mvm_batch(
+                codes, with_noise=False, fused=False
+            )
+            walked = (
+                walked_session.metrics.counter_total("mvm.invocations"),
+                walked_session.metrics.counter_total("mvm.model_time_ns"),
+                walked_session.metrics.counter_total("mvm.energy_nj"),
+            )
+        finally:
+            telemetry.disable()
+        assert auto == walked
+        assert auto[0] > 0
+
+
 class TestKernelValidation:
     def test_ragged_grid_rejected(self, small_xbar, rng):
         tiles = make_grid(small_xbar, [16, 16], [16, 16], rng)

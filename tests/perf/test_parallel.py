@@ -15,7 +15,9 @@ from repro.eval.precision_study import (
     precision_study,
     train_reference_network,
 )
+from repro import telemetry
 from repro.perf.parallel import (
+    ParallelFallbackWarning,
     chunk_size,
     parallel_map,
     task_seed,
@@ -98,6 +100,27 @@ class TestParallelMap:
         )
         assert out == [4, 9]
         assert _INIT_CALLS == [("serial",)]
+
+    def test_pool_failure_warns_and_counts(self):
+        """An unpicklable payload breaks the pool; the serial fallback
+        still returns correct results, raises a structured warning, and
+        records the labelled ``perf.parallel.fallback`` counter."""
+        unpicklable = lambda x: x + 1  # noqa: E731 — lambdas can't pickle
+        telemetry.enable()
+        try:
+            with pytest.warns(ParallelFallbackWarning):
+                out = parallel_map(unpicklable, [1, 2, 3], workers=2)
+            assert out == [2, 3, 4]
+            assert telemetry.counter_total("perf.parallel.fallback") == 1
+            snapshot = telemetry.snapshot()
+        finally:
+            telemetry.disable()
+        labels = next(
+            c["labels"]
+            for c in snapshot["counters"]
+            if c["name"] == "perf.parallel.fallback"
+        )
+        assert "reason" in labels
 
 
 @pytest.fixture(scope="module")
