@@ -1,0 +1,130 @@
+"""Serving-runtime throughput microbenchmark (MLP-L).
+
+Not a paper figure — this tracks the tentpole acceptance criterion of
+the serving runtime across PRs: a closed-loop client population served
+through micro-batching and replica dispatch must sustain at least 3x
+the steady-state throughput of sequential per-request
+``run_functional`` calls on the same programmed network, while the
+``serve.latency_ms`` telemetry histogram reports p50/p99.  Wall times
+land in ``BENCH_summary.json`` for ``compare_bench.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.compiler import PrimeCompiler
+from repro.core.executor import PrimeExecutor
+from repro.eval.workloads import get_workload
+from repro.params.prime import DEFAULT_PRIME_CONFIG
+from repro.serve import LoadGenerator, ServeConfig, ServingRuntime
+
+pytestmark = pytest.mark.serve
+
+#: Closed-loop requests per measured run.
+REQUESTS = 256
+#: Replica bank groups granted to the serving deployment.
+REPLICAS = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    topology = get_workload("MLP-L").topology()
+    net = topology.build(rng=np.random.default_rng(7))
+    features = int(np.prod(topology.input_shape))
+    samples = np.random.default_rng(11).random((REQUESTS, features))
+    return topology, net, samples
+
+
+@pytest.fixture(scope="module")
+def runtime(workload):
+    topology, net, samples = workload
+    runtime = ServingRuntime(
+        net,
+        topology,
+        serve_config=ServeConfig(mode="auto"),
+        calibration=samples[:64],
+        max_replicas=REPLICAS,
+    )
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture(scope="module")
+def sequential(workload):
+    """The per-request baseline: same programmed state, batch of 1."""
+    topology, net, samples = workload
+    executor = PrimeExecutor()
+    plan = PrimeCompiler(DEFAULT_PRIME_CONFIG).compile(topology)
+    programmed = executor.program_network(net, plan)
+    executor.run_functional(
+        net, plan, samples[:64], programmed=programmed
+    )
+
+    def run(n: int) -> float:
+        """Serve ``n`` single-sample requests; returns requests/s."""
+        start = time.perf_counter()
+        for i in range(n):
+            executor.run_functional(
+                net,
+                plan,
+                samples[i : i + 1],
+                programmed=programmed,
+            )
+        return n / (time.perf_counter() - start)
+
+    return run
+
+
+def test_serve_sequential_baseline_mlp_l(once, sequential):
+    rate = once(sequential, REQUESTS)
+    assert rate > 0
+
+
+def test_serve_loadgen_mlp_l(once, runtime, workload):
+    _, _, samples = workload
+    telemetry.enable()
+    try:
+        generator = LoadGenerator(runtime, samples)
+        generator.warmup()
+        report = once(generator.run, REQUESTS)
+        assert report.requests == REQUESTS
+        assert report.replicas == REPLICAS
+        assert report.analytical_rps > 0
+        p50 = telemetry.percentile("serve.latency_ms", 50.0)
+        p99 = telemetry.percentile("serve.latency_ms", 99.0)
+        assert 0 < p50 <= p99
+        print()
+        print(report.summary())
+    finally:
+        telemetry.disable()
+
+
+def test_serve_speedup_over_sequential(runtime, sequential, workload):
+    """The acceptance criterion: >= 3x sequential, percentiles metered."""
+    _, _, samples = workload
+    telemetry.enable()
+    try:
+        generator = LoadGenerator(runtime, samples)
+        generator.warmup()
+        sequential_rate = sequential(128)
+        report = generator.run(REQUESTS)
+        speedup = report.throughput_rps / sequential_rate
+        p50 = telemetry.percentile("serve.latency_ms", 50.0)
+        p99 = telemetry.percentile("serve.latency_ms", 99.0)
+        print()
+        print(
+            f"serving {report.throughput_rps:,.0f} req/s vs sequential "
+            f"{sequential_rate:,.0f} req/s -> {speedup:.2f}x "
+            f"(p50={p50:.2f} ms, p99={p99:.2f} ms, mode={report.mode})"
+        )
+        assert 0 < p50 <= p99
+        assert speedup >= 3.0, (
+            f"serving only {speedup:.2f}x over sequential "
+            f"({report.throughput_rps:,.0f} vs {sequential_rate:,.0f} "
+            "req/s)"
+        )
+    finally:
+        telemetry.disable()

@@ -14,6 +14,7 @@ Two complementary execution paths share one mapping plan:
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 
@@ -43,6 +44,30 @@ CALIBRATION_SAMPLES = 64
 #: Default streaming budget for functional activations (overridable
 #: via ``PRIME_FUNC_CHUNK_BYTES``).
 DEFAULT_CHUNK_BYTES = 256 * 1024 * 1024
+
+logger = logging.getLogger("repro.core")
+
+
+def env_chunk_bytes() -> int:
+    """Resolve ``PRIME_FUNC_CHUNK_BYTES`` (default 256 MiB).
+
+    An unparsable value logs a warning and falls back to the default
+    rather than raising mid-inference.
+    """
+    env = os.environ.get("PRIME_FUNC_CHUNK_BYTES", "").strip()
+    if not env:
+        return DEFAULT_CHUNK_BYTES
+    try:
+        return int(env)
+    except ValueError:
+        logger.warning(
+            "PRIME_FUNC_CHUNK_BYTES must be an integer, got %r; "
+            "using the default (%d)",
+            env,
+            DEFAULT_CHUNK_BYTES,
+        )
+        telemetry.count("perf.env.invalid", knob="PRIME_FUNC_CHUNK_BYTES")
+        return DEFAULT_CHUNK_BYTES
 
 
 class ProgrammedLayer:
@@ -557,6 +582,18 @@ class PrimeExecutor:
                 act = layer.forward(act)
         return act
 
+    def max_chunk_samples(
+        self, plan: MappingPlan, chunk_bytes: int | None = None
+    ) -> int:
+        """Largest batch ``run_functional`` evaluates in one chunk.
+
+        The serving layer sizes its micro-batches against this — a
+        micro-batch at or under the chunk budget reaches the fused
+        kernels as one wide matmul instead of being re-split inside
+        the executor.
+        """
+        return self._chunk_samples(plan, 1 << 62, chunk_bytes)
+
     def _chunk_samples(
         self, plan: MappingPlan, batch: int, chunk_bytes: int | None
     ) -> int:
@@ -567,8 +604,7 @@ class PrimeExecutor:
         ``chunk_bytes <= 0`` disables streaming.
         """
         if chunk_bytes is None:
-            env = os.environ.get("PRIME_FUNC_CHUNK_BYTES")
-            chunk_bytes = int(env) if env else DEFAULT_CHUNK_BYTES
+            chunk_bytes = env_chunk_bytes()
         if chunk_bytes <= 0:
             return batch
         per_sample = max(

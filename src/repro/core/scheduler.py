@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro import telemetry
 from repro.errors import MappingError
 from repro.core.compiler import PrimeCompiler
@@ -124,10 +126,15 @@ class BankScheduler:
         if max_replicas is not None:
             replicas = min(replicas, max_replicas)
         replicas = max(replicas, 1)
-        groups = []
-        for _ in range(replicas):
-            group = [self.free_banks.pop(0) for _ in range(footprint)]
-            groups.append(group)
+        # Grant the lowest-numbered free banks in one slice rather than
+        # popping the list head once per bank (which is O(n^2) in the
+        # grant size — noticeable at 64 banks x many deployments).
+        granted = self.free_banks[: replicas * footprint]
+        del self.free_banks[: replicas * footprint]
+        groups = [
+            granted[r * footprint : (r + 1) * footprint]
+            for r in range(replicas)
+        ]
         deployment = Deployment(
             name=topology.name, plan=plan, replica_banks=groups
         )
@@ -161,17 +168,22 @@ class BankScheduler:
 
     # -- work placement ----------------------------------------------------
 
-    def place_samples(self, name: str, n_samples: int) -> list[int]:
+    def place_samples(self, name: str, n_samples: int) -> np.ndarray:
         """Bank ID per sample, round-robin over the replica groups.
 
         This is the OS page-placement decision of §IV-B2: each image
-        is stored in (and processed by) exactly one bank.
+        is stored in (and processed by) exactly one bank.  Returns an
+        ``(n_samples,)`` integer array (one vectorised gather instead
+        of a per-sample Python loop — serving-path placement runs once
+        per micro-batch).
         """
+        if n_samples < 0:
+            raise MappingError("n_samples must be >= 0")
         deployment = self._get(name)
-        first_banks = [group[0] for group in deployment.replica_banks]
-        return [
-            first_banks[i % len(first_banks)] for i in range(n_samples)
-        ]
+        first_banks = np.array(
+            [group[0] for group in deployment.replica_banks], dtype=np.int64
+        )
+        return first_banks[np.arange(n_samples) % first_banks.size]
 
     def estimate(self, name: str, batch: int = 4096):
         """Latency/energy report for ``batch`` samples on the grant."""

@@ -9,6 +9,7 @@ rest of the stack can study accuracy degradation under yield loss.
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
 from enum import Enum
@@ -18,6 +19,7 @@ import numpy as np
 from repro.errors import DeviceError
 from repro.params.reram import ReRAMDeviceParams
 
+logger = logging.getLogger("repro.device")
 
 #: Environment knob injecting stuck-at faults into every crossbar that
 #: doesn't configure explicit rates: a single rate ("0.01", split
@@ -29,7 +31,10 @@ FAULT_RATES_ENV = "PRIME_FAULT_RATES"
 def env_fault_rates() -> tuple[float, float]:
     """Parse :data:`FAULT_RATES_ENV` into ``(rate_hrs, rate_lrs)``.
 
-    Returns ``(0.0, 0.0)`` when the variable is unset or empty.  Note
+    Returns ``(0.0, 0.0)`` when the variable is unset or empty.  An
+    unparsable or out-of-range value also yields ``(0.0, 0.0)``, with a
+    warning — the knob is read deep inside array construction, where
+    raising over a typo would kill a long run halfway through.  Note
     that, like the other ``PRIME_*`` env knobs, the value does not
     enter :mod:`repro.perf` cache keys — clear caches when sweeping it
     out-of-band, or prefer the explicit config fields.
@@ -40,23 +45,35 @@ def env_fault_rates() -> tuple[float, float]:
     parts = [p.strip() for p in raw.split(",")]
     try:
         values = [float(p) for p in parts]
-    except ValueError as exc:
-        raise DeviceError(
-            f"{FAULT_RATES_ENV} must be 'rate' or 'hrs,lrs', got {raw!r}"
-        ) from exc
+    except ValueError:
+        return _reject(raw, "must be 'rate' or 'hrs,lrs'")
     if len(values) == 1:
         rate_hrs = rate_lrs = values[0] / 2.0
     elif len(values) == 2:
         rate_hrs, rate_lrs = values
     else:
-        raise DeviceError(
-            f"{FAULT_RATES_ENV} must be 'rate' or 'hrs,lrs', got {raw!r}"
-        )
+        return _reject(raw, "must be 'rate' or 'hrs,lrs'")
     if rate_hrs < 0 or rate_lrs < 0 or rate_hrs + rate_lrs > 1:
-        raise DeviceError(
-            f"{FAULT_RATES_ENV} rates must be non-negative and sum <= 1"
-        )
+        return _reject(raw, "rates must be non-negative and sum <= 1")
     return (rate_hrs, rate_lrs)
+
+
+#: Bad values already warned about — the knob is re-read on every array
+#: construction, so one typo would otherwise log hundreds of times.
+_WARNED_VALUES: set[str] = set()
+
+
+def _reject(raw: str, why: str) -> tuple[float, float]:
+    """Warn about a bad :data:`FAULT_RATES_ENV` and inject no faults."""
+    from repro import telemetry
+
+    if raw not in _WARNED_VALUES:
+        _WARNED_VALUES.add(raw)
+        logger.warning(
+            "%s %s, got %r; injecting no faults", FAULT_RATES_ENV, why, raw
+        )
+    telemetry.count("perf.env.invalid", knob=FAULT_RATES_ENV)
+    return (0.0, 0.0)
 
 
 class StuckAtFault(Enum):

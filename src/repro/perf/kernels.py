@@ -172,6 +172,34 @@ class FusedLayerKernel:
         self._g_pos = None
         self._g_neg = None
 
+    # -- noise stream -------------------------------------------------
+
+    @property
+    def shared_rng(self) -> np.random.Generator | None:
+        """The generator every engine samples read noise from, when
+        all engines share one (the :meth:`can_fuse` requirement for
+        noisy fused calls); ``None`` otherwise."""
+        return self._rng if self._rng_shared else None
+
+    def reseed_noise(self, seed: int) -> None:
+        """Reset the engines' shared noise stream to ``seed``.
+
+        Rewinds the *same* generator object the engines (and the fused
+        path) draw from, so subsequent noisy evaluations are a pure
+        function of ``seed`` and the inputs — the serving runtime uses
+        this to key each micro-batch's noise off a deterministic
+        per-batch seed, making results independent of which replica
+        worker the batch lands on.  Fused and per-engine paths both
+        consume this stream, so reseeding keeps them comparable too.
+        """
+        if self._rng is None or not self._rng_shared:
+            raise CrossbarError(
+                "engines do not share one RNG; per-batch noise "
+                "reseeding is undefined"
+            )
+        fresh = np.random.Generator(type(self._rng.bit_generator)(seed))
+        self._rng.bit_generator.state = fresh.bit_generator.state
+
     # -- execution ----------------------------------------------------
 
     def mvm_batch(

@@ -58,7 +58,8 @@ def worker_count(workers: int | None = None) -> int:
     An explicit ``workers`` argument wins; otherwise ``PRIME_WORKERS``
     decides, and an unset environment means serial (1) — experiments
     opt into fan-out rather than surprising test suites with process
-    pools.
+    pools.  An unparsable ``PRIME_WORKERS`` logs a warning and falls
+    back to serial instead of failing a run mid-sweep over a typo.
     """
     if workers is None:
         env = os.environ.get("PRIME_WORKERS", "").strip()
@@ -67,9 +68,13 @@ def worker_count(workers: int | None = None) -> int:
         try:
             workers = int(env)
         except ValueError:
-            raise ConfigurationError(
-                f"PRIME_WORKERS must be an integer, got {env!r}"
-            ) from None
+            logger.warning(
+                "PRIME_WORKERS must be an integer, got %r; "
+                "running serially",
+                env,
+            )
+            telemetry.count("perf.env.invalid", knob="PRIME_WORKERS")
+            return 1
     return max(1, int(workers))
 
 

@@ -1,0 +1,62 @@
+"""High-throughput serving runtime for deployed PRIME networks.
+
+The ROADMAP's north star is serving heavy traffic; the paper's own
+evaluation scenario is a datacenter running the same NN tens of
+thousands of times.  This package turns the one-shot
+compile/program/run pipeline into a resident service:
+
+* :mod:`repro.serve.batcher` — dynamic micro-batching: single-sample
+  requests coalesce into batches sized against the executor's
+  streaming chunk model (``PRIME_FUNC_CHUNK_BYTES``), with a
+  ``max_wait_s`` latency knob, so the fused layer kernels always see
+  wide matmuls.
+* :mod:`repro.serve.dispatcher` — replica-parallel dispatch: each
+  :class:`~repro.core.scheduler.BankScheduler` replica bank group maps
+  to a persistent worker (process pool, serial in-process fallback)
+  that programs the network **exactly once** and serves every batch
+  from the cached programmed state with frozen calibration.
+* :mod:`repro.serve.runtime` — :class:`ServingRuntime` glues grant,
+  batcher, and dispatcher together and carries the bit-identity
+  guarantee against a direct ``run_functional`` call.
+* :mod:`repro.serve.loadgen` — closed-loop load generation with
+  p50/p95/p99 latency metering (``serve.*`` telemetry) and the
+  analytical throughput cross-check.
+
+See README "Serving" for the knobs and the guarantee, and
+``benchmarks/test_serve_throughput.py`` for the steady-state speedup
+this buys over per-request execution.
+"""
+
+from repro.serve.batcher import (
+    DEFAULT_MAX_WAIT_S,
+    MicroBatcher,
+    ServeRequest,
+)
+from repro.serve.dispatcher import (
+    ProcessDispatcher,
+    SerialDispatcher,
+    WorkerSpec,
+    batch_noise_seed,
+    make_dispatcher,
+    program_state,
+    run_programmed,
+)
+from repro.serve.loadgen import LoadGenerator, LoadReport
+from repro.serve.runtime import ServeConfig, ServingRuntime
+
+__all__ = [
+    "DEFAULT_MAX_WAIT_S",
+    "LoadGenerator",
+    "LoadReport",
+    "MicroBatcher",
+    "ProcessDispatcher",
+    "SerialDispatcher",
+    "ServeConfig",
+    "ServeRequest",
+    "ServingRuntime",
+    "WorkerSpec",
+    "batch_noise_seed",
+    "make_dispatcher",
+    "program_state",
+    "run_programmed",
+]

@@ -1,0 +1,133 @@
+"""Dynamic micro-batching for the serving runtime.
+
+Single-sample requests arrive one at a time; the fused crossbar
+kernels want wide matmuls.  :class:`MicroBatcher` is the queue between
+the two: requests accumulate until either a full micro-batch is
+available (``max_batch``, sized against the executor's streaming chunk
+model so a batch always evaluates in one fused pass) or the oldest
+request has waited ``max_wait_s`` (the latency knob — a lightly loaded
+server ships small batches early instead of stalling).
+
+The batcher is deliberately synchronous: requests and batches move
+only when the owner pumps it, so a serving run is a deterministic
+function of the submission order and the knobs — the property the
+bit-identity tests lean on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+
+__all__ = ["ServeRequest", "MicroBatcher", "DEFAULT_MAX_WAIT_S"]
+
+#: Default maximum queueing delay before a partial batch ships.
+DEFAULT_MAX_WAIT_S = 0.002
+
+
+@dataclass
+class ServeRequest:
+    """One in-flight inference request (a single sample)."""
+
+    req_id: int
+    x: np.ndarray
+    t_enqueue: float
+    t_done: float | None = None
+    result: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.t_done is not None
+
+    @property
+    def latency_s(self) -> float:
+        """Enqueue-to-completion latency (raises while in flight)."""
+        if self.t_done is None:
+            raise ConfigurationError(
+                f"request {self.req_id} has not completed"
+            )
+        return self.t_done - self.t_enqueue
+
+
+class MicroBatcher:
+    """Coalesces queued single-sample requests into micro-batches."""
+
+    def __init__(
+        self,
+        max_batch: int,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+        clock=time.perf_counter,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ConfigurationError("max_wait_s must be >= 0")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.clock = clock
+        self._queue: deque[ServeRequest] = deque()
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be batched."""
+        return len(self._queue)
+
+    def submit(self, x: np.ndarray) -> ServeRequest:
+        """Enqueue one sample; returns its tracking handle."""
+        request = ServeRequest(
+            req_id=self._next_id, x=np.asarray(x), t_enqueue=self.clock()
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        if telemetry.enabled():
+            telemetry.count("serve.requests")
+            telemetry.gauge("serve.queue_depth", len(self._queue))
+        return request
+
+    def ready(self, now: float | None = None) -> bool:
+        """Whether :meth:`next_batch` would ship a batch right now."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch:
+            return True
+        now = self.clock() if now is None else now
+        return now - self._queue[0].t_enqueue >= self.max_wait_s
+
+    def next_batch(
+        self, flush: bool = False, now: float | None = None
+    ) -> list[ServeRequest] | None:
+        """Pop the next micro-batch, or ``None`` if none should ship.
+
+        A batch ships when it is full, when the oldest queued request
+        has aged past ``max_wait_s``, or unconditionally with
+        ``flush=True`` (end-of-stream drain).
+        """
+        if not self._queue:
+            return None
+        if not flush and not self.ready(now):
+            return None
+        size = min(len(self._queue), self.max_batch)
+        batch = [self._queue.popleft() for _ in range(size)]
+        if telemetry.enabled():
+            telemetry.count("serve.batches")
+            telemetry.observe("serve.batch_size", size)
+            telemetry.gauge("serve.queue_depth", len(self._queue))
+        return batch
+
+    def drain(self):
+        """Yield every remaining micro-batch (flushing partials)."""
+        while True:
+            batch = self.next_batch(flush=True)
+            if batch is None:
+                return
+            yield batch

@@ -1,0 +1,300 @@
+"""Replica-parallel dispatch of micro-batches onto programmed workers.
+
+A :class:`~repro.core.scheduler.BankScheduler` grant gives a
+deployment ``R`` replica bank groups — ``R`` independent copies of the
+programmed network.  The dispatcher turns that grant into execution
+capacity:
+
+* **process mode** — a persistent ``ProcessPoolExecutor`` with one
+  worker per replica.  Each worker programs its copy *exactly once*
+  (in the pool initializer) and serves every subsequent micro-batch
+  from the cached :class:`~repro.core.executor.ProgrammedLayer` list
+  with frozen calibration; batches round-robin across workers.
+* **serial mode** — the in-process fallback (sandboxes without fork,
+  ``mode="serial"``): one programmed copy served inline.  Same
+  numbers, no overlap.
+
+All replicas program from one :class:`WorkerSpec` (same seed), so they
+hold bit-identical state and results never depend on which replica a
+batch lands on.  With noise enabled, every micro-batch additionally
+reseeds the engines' shared noise stream from a per-batch seed
+(:meth:`~repro.perf.kernels.FusedLayerKernel.reseed_noise`), keyed by
+batch index via :func:`repro.perf.parallel.task_seed` — noisy serving
+is reproducible and routing-independent too.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.executor import PrimeExecutor, ProgrammedLayer
+from repro.core.mapping import MappingPlan
+from repro.device.faults import env_fault_rates
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+from repro.params.prime import PrimeConfig
+from repro.perf.parallel import ParallelFallbackWarning, task_seed
+from repro.resilience.policy import ResiliencePolicy
+
+__all__ = [
+    "WorkerSpec",
+    "batch_noise_seed",
+    "program_state",
+    "run_programmed",
+    "SerialDispatcher",
+    "ProcessDispatcher",
+    "make_dispatcher",
+]
+
+logger = logging.getLogger("repro.serve")
+
+#: Seconds to wait for the first pool worker to program its replica
+#: before declaring process mode unavailable.
+_POOL_PROBE_TIMEOUT_S = 300.0
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to program and serve one replica.
+
+    Picklable by construction (plain numpy networks, frozen config
+    dataclasses, pickled mapping plans) so one spec fans out to every
+    pool worker via the initializer.
+    """
+
+    network: Sequential
+    plan: MappingPlan
+    config: PrimeConfig
+    seed: int
+    with_noise: bool = False
+    resilience: ResiliencePolicy | None = None
+    calibration: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def use_rng(self) -> bool:
+        """Whether programming/serving needs a generator at all.
+
+        Ideal noise-free serving programs with ``rng=None`` so the
+        arrays stay pristine and the exact fused fast path applies —
+        the same regime a direct noise-free ``run_functional`` runs in.
+        """
+        policy = (
+            self.resilience
+            if self.resilience is not None
+            else self.config.resilience
+        )
+        xbar = self.config.crossbar
+        fault_rates = (xbar.fault_rate_hrs, xbar.fault_rate_lrs)
+        if fault_rates == (0.0, 0.0):
+            fault_rates = env_fault_rates()
+        return (
+            self.with_noise
+            or policy.verify_writes
+            or fault_rates != (0.0, 0.0)
+        )
+
+
+def batch_noise_seed(seed: int, batch_index: int) -> int:
+    """The deterministic noise seed of micro-batch ``batch_index``."""
+    return task_seed(seed, "serve.batch", batch_index)
+
+
+def program_state(
+    spec: WorkerSpec,
+) -> tuple[PrimeExecutor, list[ProgrammedLayer]]:
+    """Program one replica from ``spec`` (the once-per-worker step).
+
+    Returns the executor and its cached programmed state.  When the
+    spec carries a calibration batch, the per-layer input formats and
+    SA output windows freeze here — every later micro-batch reuses
+    them, so results do not depend on how traffic happened to be
+    batched.  The calibration pass never samples read noise, keeping
+    the post-programming RNG state independent of it.
+    """
+    executor = PrimeExecutor(spec.config)
+    rng = (
+        np.random.default_rng(spec.seed) if spec.use_rng else None
+    )
+    programmed = executor.program_network(
+        spec.network, spec.plan, rng=rng, resilience=spec.resilience
+    )
+    if spec.calibration is not None:
+        executor.run_functional(
+            spec.network,
+            spec.plan,
+            spec.calibration,
+            programmed=programmed,
+            with_noise=False,
+        )
+    if telemetry.enabled():
+        telemetry.count("serve.programs")
+    return executor, programmed
+
+
+def run_programmed(
+    spec: WorkerSpec,
+    executor: PrimeExecutor,
+    programmed: list[ProgrammedLayer],
+    batch: np.ndarray,
+    noise_seed: int | None = None,
+) -> np.ndarray:
+    """Serve one micro-batch from already-programmed state."""
+    if spec.with_noise and noise_seed is not None:
+        programmed[0].kernel.reseed_noise(noise_seed)
+    return executor.run_functional(
+        spec.network,
+        spec.plan,
+        batch,
+        programmed=programmed,
+        with_noise=spec.with_noise,
+    )
+
+
+# ----------------------------------------------------------------------
+# process-pool worker entry points (module-level for pickling)
+# ----------------------------------------------------------------------
+
+#: Per-process worker state: (spec, executor, programmed) after init.
+_WORKER_STATE: tuple | None = None
+
+
+def _pool_init(payload: bytes) -> None:
+    global _WORKER_STATE
+    spec = pickle.loads(payload)
+    _WORKER_STATE = (spec,) + program_state(spec)
+
+
+def _pool_run(args: tuple) -> np.ndarray:
+    batch, noise_seed = args
+    spec, executor, programmed = _WORKER_STATE
+    return run_programmed(spec, executor, programmed, batch, noise_seed)
+
+
+def _pool_ping() -> bool:
+    return _WORKER_STATE is not None
+
+
+class SerialDispatcher:
+    """In-process fallback: one programmed copy, served inline.
+
+    ``dispatch`` returns an already-resolved :class:`Future` so the
+    runtime drives both dispatchers identically.
+    """
+
+    mode = "serial"
+
+    def __init__(self, spec: WorkerSpec, replicas: int = 1) -> None:
+        self.spec = spec
+        self.replicas = replicas
+        self._state: tuple | None = None
+
+    def _ensure(self):
+        if self._state is None:
+            self._state = program_state(self.spec)
+        return self._state
+
+    def dispatch(
+        self, batch: np.ndarray, noise_seed: int | None = None
+    ) -> Future:
+        executor, programmed = self._ensure()
+        future: Future = Future()
+        future.set_result(
+            run_programmed(
+                self.spec, executor, programmed, batch, noise_seed
+            )
+        )
+        return future
+
+    def close(self) -> None:
+        self._state = None
+
+
+class ProcessDispatcher:
+    """Persistent pool with one programmed worker per replica."""
+
+    mode = "process"
+
+    def __init__(self, spec: WorkerSpec, replicas: int) -> None:
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        self.spec = spec
+        self.replicas = replicas
+        payload = pickle.dumps(spec)
+        self._pool = ProcessPoolExecutor(
+            max_workers=replicas,
+            initializer=_pool_init,
+            initargs=(payload,),
+        )
+        # Force a worker up now: programming happens in the initializer,
+        # so an environment that cannot host the pool (no fork, broken
+        # pickling) fails here, where make_dispatcher can still fall
+        # back to serial, not on the first real request.
+        if not self._pool.submit(_pool_ping).result(
+            timeout=_POOL_PROBE_TIMEOUT_S
+        ):
+            raise BrokenProcessPool("pool worker failed to initialise")
+
+    def dispatch(
+        self, batch: np.ndarray, noise_seed: int | None = None
+    ) -> Future:
+        return self._pool.submit(_pool_run, (batch, noise_seed))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_dispatcher(
+    spec: WorkerSpec, replicas: int, mode: str = "auto"
+):
+    """Build the replica dispatcher for a deployment.
+
+    ``mode="process"``/``"auto"`` try the persistent pool first;
+    ``"auto"`` degrades to serial (with a
+    :class:`~repro.perf.parallel.ParallelFallbackWarning` and a
+    ``serve.dispatch.fallback`` counter) when no pool can be created,
+    while ``"process"`` propagates the failure.  ``mode="serial"``
+    skips the pool entirely.
+    """
+    if mode not in ("auto", "process", "serial"):
+        raise ConfigurationError(
+            f"serve mode must be auto|process|serial, got {mode!r}"
+        )
+    if mode == "serial" or (mode == "auto" and replicas <= 1):
+        return SerialDispatcher(spec, replicas)
+    try:
+        return ProcessDispatcher(spec, replicas)
+    except (
+        OSError,
+        AttributeError,
+        TimeoutError,
+        _FuturesTimeout,
+        BrokenProcessPool,
+        pickle.PicklingError,
+    ) as exc:
+        if mode == "process":
+            raise
+        logger.warning(
+            "serve worker pool unavailable (%s: %s); dispatching "
+            "serially in-process",
+            type(exc).__name__,
+            exc,
+        )
+        warnings.warn(
+            f"serve worker pool unavailable ({type(exc).__name__}); "
+            "dispatching serially in-process",
+            ParallelFallbackWarning,
+            stacklevel=2,
+        )
+        telemetry.count(
+            "serve.dispatch.fallback", reason=type(exc).__name__
+        )
+        return SerialDispatcher(spec, replicas)

@@ -1,0 +1,170 @@
+"""Closed-loop load generation and latency metering.
+
+:class:`LoadGenerator` drives a :class:`~repro.serve.runtime.
+ServingRuntime` the way the paper's datacenter scenario does: a fixed
+client population (``concurrency``) keeps requests outstanding at all
+times, each completion immediately issuing the next request, until
+``n_requests`` have been served.  Per-request enqueue-to-completion
+latency lands in the ``serve.latency_ms`` telemetry histogram and in
+the returned :class:`LoadReport` (p50/p95/p99, exact — the report
+keeps its own latency list), alongside measured throughput and the
+analytical cross-check against
+:meth:`~repro.core.scheduler.BankScheduler.throughput`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+
+__all__ = ["LoadReport", "LoadGenerator"]
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sorted latency list."""
+    rank = max(1, math.ceil(q / 100.0 * len(latencies)))
+    return latencies[rank - 1]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one closed-loop run."""
+
+    workload: str
+    requests: int
+    concurrency: int
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    batches: int
+    mean_batch: float
+    replicas: int
+    mode: str
+    #: Paper-model steady-state rate of the same grant, for the
+    #: analytical cross-check (simulation wall-clock vs modelled
+    #: hardware time — the ratio is reported, not asserted).
+    analytical_rps: float
+
+    @property
+    def model_ratio(self) -> float:
+        """Measured (simulated) rate over the analytical model's rate."""
+        return (
+            self.throughput_rps / self.analytical_rps
+            if self.analytical_rps > 0
+            else float("inf")
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload}: {self.requests} requests, "
+            f"{self.throughput_rps:,.0f} req/s over {self.replicas} "
+            f"replica(s) [{self.mode}], batch x̄={self.mean_batch:.1f}, "
+            f"p50={self.p50_ms:.2f} ms p95={self.p95_ms:.2f} ms "
+            f"p99={self.p99_ms:.2f} ms "
+            f"(analytical model {self.analytical_rps:,.0f} req/s)"
+        )
+
+
+class LoadGenerator:
+    """Closed-loop client population over one serving runtime."""
+
+    def __init__(
+        self,
+        runtime,
+        samples: np.ndarray,
+        concurrency: int | None = None,
+    ) -> None:
+        if len(samples) < 1:
+            raise ConfigurationError("need at least one sample to replay")
+        self.runtime = runtime
+        self.samples = np.asarray(samples)
+        #: Outstanding-request window; defaults to one full micro-batch
+        #: per replica so every worker can stay busy.
+        if concurrency is None:
+            concurrency = runtime.max_batch * max(runtime.replicas, 1)
+        self.concurrency = concurrency
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be >= 1")
+        self._cursor = 0
+
+    def _next_sample(self) -> np.ndarray:
+        x = self.samples[self._cursor % len(self.samples)]
+        self._cursor += 1
+        return x
+
+    def warmup(self, n: int | None = None) -> None:
+        """Serve a few untimed requests (programming, calibration,
+        pool spin-up) so :meth:`run` measures steady state.
+
+        Defaults to one full micro-batch *per replica*: batches
+        round-robin across workers, so anything less leaves a pool
+        worker that still pays its one-time programming inside the
+        measured window.
+        """
+        if n is None:
+            n = self.runtime.max_batch * max(self.runtime.replicas, 1)
+        if n > 0:
+            self.runtime.serve(
+                np.stack([self._next_sample() for _ in range(n)])
+            )
+
+    def run(self, n_requests: int) -> LoadReport:
+        """Serve ``n_requests`` closed-loop; returns the metered report."""
+        if n_requests < 1:
+            raise ConfigurationError("n_requests must be >= 1")
+        runtime = self.runtime
+        batches_before = runtime.batches_dispatched
+        requests = []
+        issued = 0
+        start = time.perf_counter()
+        with telemetry.span(
+            "serve.loadgen", workload=runtime.name, requests=n_requests
+        ):
+            while issued < n_requests:
+                window = min(self.concurrency, n_requests - issued)
+                for _ in range(window):
+                    requests.append(runtime.submit(self._next_sample()))
+                    issued += 1
+                # The window is full (or the stream is over): pump.
+                # Flushing on the final window drains partial batches.
+                runtime.pump(flush=issued >= n_requests)
+        duration = time.perf_counter() - start
+        latencies = sorted(r.latency_s * 1e3 for r in requests)
+        batches = runtime.batches_dispatched - batches_before
+        report = LoadReport(
+            workload=runtime.name,
+            requests=n_requests,
+            concurrency=self.concurrency,
+            duration_s=duration,
+            throughput_rps=n_requests / duration,
+            p50_ms=_percentile(latencies, 50.0),
+            p95_ms=_percentile(latencies, 95.0),
+            p99_ms=_percentile(latencies, 99.0),
+            mean_ms=sum(latencies) / len(latencies),
+            batches=batches,
+            mean_batch=n_requests / batches if batches else 0.0,
+            replicas=runtime.replicas,
+            mode=runtime.mode,
+            analytical_rps=runtime.analytical_throughput(),
+        )
+        if telemetry.enabled():
+            telemetry.gauge(
+                "serve.throughput_rps",
+                report.throughput_rps,
+                workload=runtime.name,
+            )
+            telemetry.gauge(
+                "serve.analytical_rps",
+                report.analytical_rps,
+                workload=runtime.name,
+            )
+        return report

@@ -1,0 +1,270 @@
+"""The serving runtime: scheduler grant → batcher → replica dispatch.
+
+:class:`ServingRuntime` is the paper's datacenter scenario (§VI, "the
+same NN executed tens of thousands of times") made operational on top
+of the existing stack:
+
+1. ``deploy`` — a :class:`~repro.core.scheduler.BankScheduler` grant
+   claims replica bank groups for the compiled plan;
+2. ``program once`` — every replica worker programs the network a
+   single time and freezes calibration on a shared calibration batch;
+3. ``serve`` — queued single-sample requests coalesce into
+   micro-batches sized against the executor's streaming chunk model
+   and round-robin across the replica workers.
+
+Bit-identity guarantee: with calibration frozen at deploy time, the
+runtime's outputs equal a direct
+:meth:`~repro.core.executor.PrimeExecutor.run_functional` call on the
+same concatenated batch at the same seeds — noise off (sample-wise
+exact fused path) for *any* micro-batch composition, and seeded noise
+on for the same composition (each micro-batch's noise stream is keyed
+by its batch index, see :meth:`reference`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.scheduler import BankScheduler, Deployment
+from repro.errors import ExecutionError
+from repro.nn.network import Sequential
+from repro.nn.topology import NetworkTopology
+from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
+from repro.resilience.policy import ResiliencePolicy
+from repro.serve.batcher import (
+    DEFAULT_MAX_WAIT_S,
+    MicroBatcher,
+    ServeRequest,
+)
+from repro.serve.dispatcher import (
+    WorkerSpec,
+    batch_noise_seed,
+    make_dispatcher,
+    program_state,
+    run_programmed,
+)
+
+__all__ = ["ServeConfig", "ServingRuntime"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving deployment."""
+
+    #: Micro-batch size; ``None`` derives it from the executor's chunk
+    #: model (``PRIME_FUNC_CHUNK_BYTES``) capped at ``max_batch_cap``.
+    max_batch: int | None = None
+    #: Upper bound on the derived micro-batch size — beyond a point a
+    #: wider matmul stops paying and only adds queueing latency.
+    max_batch_cap: int = 256
+    #: Maximum queueing delay before a partial batch ships.
+    max_wait_s: float = DEFAULT_MAX_WAIT_S
+    #: Dispatch mode: ``auto`` | ``process`` | ``serial``.
+    mode: str = "auto"
+    #: Seed for programming and per-batch noise streams.
+    seed: int = 0
+    #: Sample read noise during serving (seeded-reproducible).
+    with_noise: bool = False
+
+
+class ServingRuntime:
+    """Serves one deployed network at micro-batched throughput."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        topology: NetworkTopology,
+        config: PrimeConfig = DEFAULT_PRIME_CONFIG,
+        serve_config: ServeConfig | None = None,
+        scheduler: BankScheduler | None = None,
+        max_replicas: int | None = None,
+        calibration: np.ndarray | None = None,
+        resilience: ResiliencePolicy | None = None,
+    ) -> None:
+        self.config = config
+        self.serve_config = serve_config or ServeConfig()
+        self.network = network
+        self.scheduler = scheduler or BankScheduler(config)
+        with telemetry.span("serve.deploy", workload=topology.name):
+            self.deployment: Deployment = self.scheduler.deploy(
+                topology, max_replicas=max_replicas
+            )
+            self.plan = self.deployment.plan
+            max_batch = self.serve_config.max_batch
+            if max_batch is None:
+                chunk = self.scheduler.executor.max_chunk_samples(self.plan)
+                max_batch = max(
+                    1, min(self.serve_config.max_batch_cap, chunk)
+                )
+            self.batcher = MicroBatcher(
+                max_batch, self.serve_config.max_wait_s
+            )
+            self.spec = WorkerSpec(
+                network=network,
+                plan=self.plan,
+                config=config,
+                seed=self.serve_config.seed,
+                with_noise=self.serve_config.with_noise,
+                resilience=resilience,
+                calibration=calibration,
+            )
+            self.dispatcher = make_dispatcher(
+                self.spec,
+                replicas=self.deployment.replicas,
+                mode=self.serve_config.mode,
+            )
+        #: Micro-batches dispatched so far (also the per-batch noise
+        #: stream index).
+        self.batches_dispatched = 0
+        #: (future, requests) pairs awaiting collection, in dispatch
+        #: order.
+        self._inflight: list[tuple] = []
+        self._closed = False
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.deployment.name
+
+    @property
+    def replicas(self) -> int:
+        return self.deployment.replicas
+
+    @property
+    def max_batch(self) -> int:
+        return self.batcher.max_batch
+
+    @property
+    def mode(self) -> str:
+        """Dispatch mode actually in effect (after any fallback)."""
+        return self.dispatcher.mode
+
+    # -- serving --------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> ServeRequest:
+        """Enqueue one sample for inference."""
+        if self._closed:
+            raise ExecutionError("serving runtime is closed")
+        return self.batcher.submit(x)
+
+    def pump(self, flush: bool = False) -> int:
+        """Move work: ship ready batches, collect finished ones.
+
+        Dispatches every micro-batch the batcher will release (all of
+        them, including partials, when ``flush`` is set), then resolves
+        every in-flight future onto its requests.  Returns the number
+        of requests completed by this call.
+        """
+        while True:
+            batch = self.batcher.next_batch(flush=flush)
+            if batch is None:
+                break
+            self._dispatch(batch)
+        return self._collect()
+
+    def serve(self, samples: np.ndarray) -> np.ndarray:
+        """Convenience loop: submit every sample, drain, stack outputs.
+
+        Equivalent to a client enqueueing the whole array at once; the
+        batcher still splits it into ``max_batch`` micro-batches.
+        """
+        requests = [self.submit(x) for x in samples]
+        self.pump(flush=True)
+        return np.stack([r.result for r in requests])
+
+    def _dispatch(self, batch: list[ServeRequest]) -> None:
+        stacked = np.stack([r.x for r in batch]).astype(np.float64)
+        noise_seed = None
+        if self.spec.with_noise:
+            noise_seed = batch_noise_seed(
+                self.serve_config.seed, self.batches_dispatched
+            )
+        replica = self.batches_dispatched % max(self.replicas, 1)
+        self.batches_dispatched += 1
+        if telemetry.enabled():
+            telemetry.count("serve.replica_batches", replica=replica)
+        future = self.dispatcher.dispatch(stacked, noise_seed)
+        self._inflight.append((future, batch))
+
+    def _collect(self) -> int:
+        completed = 0
+        clock = self.batcher.clock
+        for future, batch in self._inflight:
+            outputs = future.result()
+            now = clock()
+            for request, row in zip(batch, outputs):
+                request.result = row
+                request.t_done = now
+                completed += 1
+                if telemetry.enabled():
+                    telemetry.observe(
+                        "serve.latency_ms", request.latency_s * 1e3
+                    )
+        self._inflight.clear()
+        return completed
+
+    # -- cross-checks ---------------------------------------------------
+
+    def analytical_throughput(self) -> float:
+        """Steady-state samples/s of the grant per the paper's model
+        (:meth:`BankScheduler.throughput` over the replica banks)."""
+        return self.scheduler.throughput(self.name)
+
+    def reference(
+        self, x: np.ndarray, batch_index: int = 0
+    ) -> np.ndarray:
+        """Direct ``run_functional`` on ``x`` under this deployment's
+        seeds — the bit-identity oracle.
+
+        Programs a fresh copy from the same :class:`WorkerSpec` every
+        worker used (identical conductances, identical frozen
+        calibration) and evaluates ``x`` as one batch, with the noise
+        stream a micro-batch at ``batch_index`` would have used.  A
+        serving run whose batcher coalesced the same samples into one
+        micro-batch returns exactly these rows; with noise off the
+        equality holds per-sample for every batching.
+        """
+        executor, programmed = program_state(self.spec)
+        noise_seed = (
+            batch_noise_seed(self.serve_config.seed, batch_index)
+            if self.spec.with_noise
+            else None
+        )
+        return run_programmed(
+            self.spec,
+            executor,
+            programmed,
+            np.asarray(x, dtype=np.float64),
+            noise_seed,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, release_banks: bool = True) -> None:
+        """Shut down workers and (optionally) release the bank grant."""
+        if self._closed:
+            return
+        if self._inflight or len(self.batcher):
+            raise ExecutionError(
+                "cannot close with queued or in-flight requests; "
+                "pump(flush=True) first"
+            )
+        self.dispatcher.close()
+        if release_banks and self.name in self.scheduler.deployments:
+            self.scheduler.release(self.name)
+        self._closed = True
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # Error path: drop queued work so close() cannot raise over
+            # the original exception.
+            self._inflight.clear()
+            self.batcher._queue.clear()
+        self.close()

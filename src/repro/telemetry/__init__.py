@@ -71,6 +71,7 @@ __all__ = [
     "gauge",
     "gauge_value",
     "observe",
+    "percentile",
     "snapshot",
     "chrome_trace",
     "write_chrome_trace",
@@ -198,6 +199,11 @@ def counter_total(name: str) -> float:
 def gauge_value(name: str, **labels: object) -> float | None:
     """Current value of one gauge, or ``None`` if never set."""
     return _require().metrics.gauge_value(name, **labels)
+
+
+def percentile(name: str, q: float, **labels: object) -> float:
+    """Percentile ``q`` (0-100) of one histogram (0.0 if never observed)."""
+    return _require().metrics.percentile(name, q, **labels)
 
 
 def snapshot() -> dict:

@@ -169,6 +169,8 @@ def summary_table(session, top: int = 12) -> str:
             h.count,
             f"{h.mean:g}",
             f"{h.minimum:g}" if h.count else "-",
+            f"{h.percentile(50.0):g}" if h.count else "-",
+            f"{h.percentile(99.0):g}" if h.count else "-",
             f"{h.maximum:g}" if h.count else "-",
         ]
         for h in sorted(
@@ -180,7 +182,7 @@ def summary_table(session, top: int = 12) -> str:
         sections.append(
             render_table(
                 "telemetry: histograms",
-                ["histogram", "count", "mean", "min", "max"],
+                ["histogram", "count", "mean", "min", "p50", "p99", "max"],
                 hist_rows,
             )
         )

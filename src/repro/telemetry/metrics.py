@@ -12,11 +12,17 @@ in nanojoules, bare names for event counts and ratios.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
 def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+#: Retained-sample budget per histogram before deterministic decimation
+#: kicks in (see :meth:`Histogram.observe`).
+SAMPLE_CAP = 8192
 
 
 @dataclass
@@ -47,7 +53,16 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Count/sum/min/max summary of observed values."""
+    """Count/sum/min/max/percentile summary of observed values.
+
+    Percentiles come from retained samples: every observation is kept
+    until :data:`SAMPLE_CAP`, after which the reservoir halves and the
+    stream is decimated deterministically (every 2nd, then 4th, ...
+    observation is kept).  Small recordings — every serving run in this
+    repo — therefore get *exact* percentiles, huge streams approximate
+    ones, and the mechanism never consumes randomness, so telemetry
+    cannot perturb seeded experiments.
+    """
 
     name: str
     labels: dict[str, str] = field(default_factory=dict)
@@ -55,6 +70,9 @@ class Histogram:
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    samples: list[float] = field(default_factory=list, repr=False)
+    sample_stride: int = 1
+    _skip: int = field(default=0, repr=False)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -62,10 +80,31 @@ class Histogram:
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        if self._skip:
+            self._skip -= 1
+            return
+        self.samples.append(value)
+        if len(self.samples) >= SAMPLE_CAP:
+            self.samples = self.samples[::2]
+            self.sample_stride *= 2
+        self._skip = self.sample_stride - 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile ``q`` (0-100) of the retained samples.
+
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
 
 class MetricsRegistry:
@@ -121,6 +160,12 @@ class MetricsRegistry:
         metric = self._metrics.get(key)
         return metric.value if metric is not None else None
 
+    def percentile(self, name: str, q: float, **labels: object) -> float:
+        """Percentile ``q`` of one histogram (0.0 if never observed)."""
+        key = ("Histogram", name, _label_key(labels))
+        metric = self._metrics.get(key)
+        return metric.percentile(q) if metric is not None else 0.0
+
     def snapshot(self) -> dict:
         """Flat JSON-serialisable dump of every metric."""
         return {
@@ -141,6 +186,9 @@ class MetricsRegistry:
                     "min": h.minimum if h.count else None,
                     "max": h.maximum if h.count else None,
                     "mean": h.mean,
+                    "p50": h.percentile(50.0),
+                    "p95": h.percentile(95.0),
+                    "p99": h.percentile(99.0),
                 }
                 for h in self.histograms()
             ],

@@ -130,10 +130,18 @@ class TestBankScheduler:
             get_workload("MLP-S").topology(), max_replicas=4
         )
         placement = scheduler.place_samples("MLP-S", 10)
-        assert len(placement) == 10
+        assert isinstance(placement, np.ndarray)
+        assert placement.shape == (10,)
         first = [g[0] for g in dep.replica_banks]
-        assert placement[:4] == first
+        np.testing.assert_array_equal(placement[:4], first)
         assert placement[4] == first[0]
+
+    def test_place_samples_edge_counts(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=4)
+        assert scheduler.place_samples("MLP-S", 0).shape == (0,)
+        with pytest.raises(MappingError):
+            scheduler.place_samples("MLP-S", -1)
 
     def test_throughput_scales_with_replicas(self):
         few = BankScheduler()
@@ -145,6 +153,64 @@ class TestBankScheduler:
     def test_unknown_deployment(self):
         with pytest.raises(MappingError):
             BankScheduler().throughput("nope")
+
+
+class TestSchedulerLifecycle:
+    """Multi-tenant deploy/release/redeploy behaviour of the bank pool."""
+
+    def test_release_and_redeploy_reuses_fragmented_banks(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=8)
+        scheduler.deploy(get_workload("CNN-1").topology(), max_replicas=8)
+        mlp_banks = set(scheduler.deployments["MLP-S"].banks)
+        # Releasing the first tenant leaves a hole at the low bank IDs;
+        # a new deployment must be able to claim it.
+        scheduler.release("MLP-S")
+        assert sorted(scheduler.free_banks) == scheduler.free_banks
+        dep = scheduler.deploy(
+            get_workload("MLP-M").topology(), max_replicas=8
+        )
+        assert set(dep.banks) & mlp_banks
+        banks_cnn = set(scheduler.deployments["CNN-1"].banks)
+        assert not set(dep.banks) & banks_cnn
+
+    def test_interleaved_tenants_never_share_banks(self):
+        scheduler = BankScheduler()
+        names = ["MLP-S", "MLP-M", "CNN-1"]
+        for name in names:
+            scheduler.deploy(get_workload(name).topology(), max_replicas=4)
+        claimed = [set(scheduler.deployments[n].banks) for n in names]
+        for i in range(len(claimed)):
+            for j in range(i + 1, len(claimed)):
+                assert not claimed[i] & claimed[j]
+        total = len(scheduler.free_banks) + sum(len(c) for c in claimed)
+        assert total == 64
+        for name in names:
+            scheduler.release(name)
+        assert scheduler.free_banks == list(range(64))
+        assert scheduler.utilization() == 0.0
+
+    def test_max_replicas_clamped_to_at_least_one(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=0
+        )
+        assert dep.replicas == 1
+        assert dep.plan.bank_replicas == 1
+
+    def test_large_scale_recompile_keeps_plan_valid(self):
+        """VGG-D under the scheduler recompiles with replicate=False;
+        the granted plan must still validate and its replica count must
+        reflect the grant, not the global pool."""
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(get_workload("VGG-D").topology())
+        dep.plan.validate()
+        assert dep.plan.bank_replicas == dep.replicas
+        footprint = dep.plan.banks_used
+        assert all(
+            len(group) == footprint for group in dep.replica_banks
+        )
+        assert len(dep.banks) == len(set(dep.banks))
 
 
 class TestCoSchedule:

@@ -55,10 +55,25 @@ class TestWorkerCount:
         monkeypatch.setenv("PRIME_WORKERS", "1")
         assert worker_count() == 1
 
-    def test_invalid_env_raises(self, monkeypatch):
-        monkeypatch.setenv("PRIME_WORKERS", "many")
-        with pytest.raises(ConfigurationError):
-            worker_count()
+    def test_invalid_env_warns_and_falls_back(
+        self, monkeypatch, caplog
+    ):
+        """A bad PRIME_WORKERS must never kill a long experiment run:
+        it logs a warning, counts perf.env.invalid, and runs serially."""
+        telemetry.enable()
+        try:
+            for raw in ("many", "", "  ", "0", "-3", "2.5"):
+                monkeypatch.setenv("PRIME_WORKERS", raw)
+                with caplog.at_level("WARNING", logger="repro.perf"):
+                    assert worker_count() == 1
+            assert telemetry.counter_value(
+                "perf.env.invalid", knob="PRIME_WORKERS"
+            ) >= 1
+            assert any(
+                "PRIME_WORKERS" in r.message for r in caplog.records
+            )
+        finally:
+            telemetry.disable()
 
 
 class TestHelpers:

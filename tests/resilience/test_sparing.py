@@ -16,7 +16,6 @@ from repro.device.faults import FAULT_RATES_ENV, FaultMap, env_fault_rates
 from repro.errors import (
     ConfigurationError,
     CrossbarError,
-    DeviceError,
     MappingError,
 )
 from repro.nn.topology import parse_topology
@@ -213,11 +212,30 @@ class TestFaultRateKnobs:
         )
         assert engine.pair.positive.cells.fault_map is not None
 
-    def test_env_knob_rejects_garbage(self, monkeypatch):
+    def test_env_knob_garbage_warns_and_injects_nothing(
+        self, monkeypatch, caplog
+    ):
+        """The knob is read deep inside array construction; a typo must
+        degrade to fault-free arrays (warning + counter), not raise."""
+        from repro.device import faults
+
+        telemetry.enable()
+        monkeypatch.setattr(faults, "_WARNED_VALUES", set())
         for raw in ("nope", "0.1,0.2,0.3", "-0.5", "0.8,0.8"):
             monkeypatch.setenv(FAULT_RATES_ENV, raw)
-            with pytest.raises(DeviceError):
-                env_fault_rates()
+            with caplog.at_level("WARNING", logger="repro.device"):
+                assert env_fault_rates() == (0.0, 0.0)
+                # Repeated reads of the same bad value count every time
+                # but warn only once.
+                assert env_fault_rates() == (0.0, 0.0)
+        assert telemetry.counter_value(
+            "perf.env.invalid", knob=FAULT_RATES_ENV
+        ) == 8
+        warned = [
+            r.message for r in caplog.records
+            if FAULT_RATES_ENV in r.message
+        ]
+        assert len(warned) == 4
 
 
 class TestPlanSparing:

@@ -1,0 +1,117 @@
+"""Unit tests for the dynamic micro-batcher."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.serve.batcher import MicroBatcher, ServeRequest
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    """A manually advanced clock so wait-time policy tests are exact."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _batcher(max_batch=4, max_wait_s=1.0):
+    clock = FakeClock()
+    return MicroBatcher(max_batch, max_wait_s, clock=clock), clock
+
+
+class TestKnobs:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(4, max_wait_s=-0.1)
+
+    def test_request_latency_requires_completion(self):
+        batcher, clock = _batcher()
+        request = batcher.submit(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            request.latency_s
+        clock.now = 2.5
+        request.t_done = clock()
+        assert request.latency_s == pytest.approx(2.5)
+
+
+class TestBatchingPolicy:
+    def test_full_batch_ships_immediately(self):
+        batcher, _ = _batcher(max_batch=3)
+        for i in range(5):
+            batcher.submit(np.full(2, i))
+        assert batcher.ready()
+        batch = batcher.next_batch()
+        assert [r.req_id for r in batch] == [0, 1, 2]
+        assert batcher.queue_depth == 2
+
+    def test_partial_batch_waits_for_deadline(self):
+        batcher, clock = _batcher(max_batch=8, max_wait_s=1.0)
+        batcher.submit(np.zeros(2))
+        assert not batcher.ready()
+        assert batcher.next_batch() is None
+        clock.now = 1.0
+        assert batcher.ready()
+        assert len(batcher.next_batch()) == 1
+
+    def test_flush_ships_partial_batches(self):
+        batcher, _ = _batcher(max_batch=8, max_wait_s=100.0)
+        for i in range(3):
+            batcher.submit(np.full(2, i))
+        batch = batcher.next_batch(flush=True)
+        assert len(batch) == 3
+        assert batcher.next_batch(flush=True) is None
+
+    def test_drain_preserves_submit_order(self):
+        batcher, _ = _batcher(max_batch=4, max_wait_s=100.0)
+        for i in range(10):
+            batcher.submit(np.full(2, i))
+        batches = list(batcher.drain())
+        assert [len(b) for b in batches] == [4, 4, 2]
+        ids = [r.req_id for b in batches for r in b]
+        assert ids == list(range(10))
+        assert batcher.queue_depth == 0
+
+    def test_empty_queue_never_ready(self):
+        batcher, clock = _batcher()
+        clock.now = 100.0
+        assert not batcher.ready()
+        assert batcher.next_batch(flush=True) is None
+
+
+class TestTelemetry:
+    def test_counters_and_batch_size_histogram(self):
+        telemetry.enable()
+        batcher, _ = _batcher(max_batch=4, max_wait_s=100.0)
+        for i in range(6):
+            batcher.submit(np.full(2, i))
+        list(batcher.drain())
+        assert telemetry.counter_total("serve.requests") == 6
+        assert telemetry.counter_total("serve.batches") == 2
+        hist = telemetry.session().metrics.histogram("serve.batch_size")
+        assert hist.count == 2
+        assert hist.maximum == 4
+        assert hist.minimum == 2
+        assert telemetry.gauge_value("serve.queue_depth") == 0
+
+
+class TestRequestDataclass:
+    def test_done_tracks_completion(self):
+        request = ServeRequest(req_id=0, x=np.zeros(2), t_enqueue=0.0)
+        assert not request.done
+        request.t_done = 1.0
+        assert request.done

@@ -1,0 +1,123 @@
+"""Closed-loop load generator and latency metering."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.nn.topology import parse_topology
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+from repro.params.reram import PT_TIO2_DEVICE
+from repro.resilience import ResiliencePolicy
+from repro.serve import LoadGenerator, LoadReport, ServeConfig, ServingRuntime
+
+pytestmark = pytest.mark.serve
+
+NOISE_FREE = dataclasses.replace(
+    PT_TIO2_DEVICE, programming_sigma=0.0, read_noise_sigma=0.0
+)
+SMALL_ORG = MemoryOrganization(
+    subarrays_per_bank=8,
+    mats_per_subarray=16,
+    mat_rows=32,
+    mat_cols=32,
+)
+TOPOLOGY = parse_topology("serve-load", "24-20-6")
+CONFIG = PrimeConfig(
+    crossbar=CrossbarParams(rows=32, cols=32, sense_amps=8, device=NOISE_FREE),
+    organization=SMALL_ORG,
+    resilience=ResiliencePolicy(),
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+@pytest.fixture
+def runtime():
+    network = TOPOLOGY.build(rng=np.random.default_rng(2))
+    samples = np.random.default_rng(3).standard_normal((32, 24))
+    runtime = ServingRuntime(
+        network,
+        TOPOLOGY,
+        config=CONFIG,
+        serve_config=ServeConfig(mode="serial", max_batch=8),
+        calibration=samples,
+        max_replicas=2,
+    )
+    yield runtime, samples
+    runtime.close()
+
+
+class TestLoadGenerator:
+    def test_knob_validation(self, runtime):
+        rt, samples = runtime
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(rt, samples[:0])
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(rt, samples, concurrency=0)
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(rt, samples).run(0)
+
+    def test_default_concurrency_fills_every_replica(self, runtime):
+        rt, samples = runtime
+        generator = LoadGenerator(rt, samples)
+        assert generator.concurrency == rt.max_batch * rt.replicas
+
+    def test_closed_loop_report(self, runtime):
+        telemetry.enable()
+        rt, samples = runtime
+        generator = LoadGenerator(rt, samples)
+        generator.warmup()
+        report = generator.run(40)
+        assert isinstance(report, LoadReport)
+        assert report.requests == 40
+        assert report.workload == rt.name
+        assert report.duration_s > 0
+        assert report.throughput_rps > 0
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.mean_ms > 0
+        assert report.batches >= 1
+        assert report.mean_batch == pytest.approx(40 / report.batches)
+        assert report.replicas == rt.replicas
+        assert report.mode == "serial"
+        assert report.analytical_rps == pytest.approx(
+            rt.analytical_throughput()
+        )
+        assert report.model_ratio > 0
+        # Every request's latency also landed in the telemetry
+        # histogram (warmup batches included — one per replica), and
+        # the throughput gauges were published.
+        hist = telemetry.session().metrics.histogram("serve.latency_ms")
+        assert hist.count == 40 + rt.max_batch * rt.replicas
+        assert telemetry.percentile("serve.latency_ms", 99.0) > 0
+        assert (
+            telemetry.gauge_value(
+                "serve.throughput_rps", workload=rt.name
+            )
+            == pytest.approx(report.throughput_rps)
+        )
+
+    def test_summary_is_human_readable(self, runtime):
+        rt, samples = runtime
+        report = LoadGenerator(rt, samples).run(10)
+        text = report.summary()
+        assert rt.name in text
+        assert "req/s" in text
+        assert "p99" in text
+
+    def test_sample_replay_wraps_around(self, runtime):
+        rt, samples = runtime
+        generator = LoadGenerator(rt, samples[:3])
+        report = generator.run(10)
+        assert report.requests == 10
