@@ -7,9 +7,17 @@ the steady-state throughput of sequential per-request
 ``run_functional`` calls on the same programmed network, while the
 ``serve.latency_ms`` telemetry histogram reports p50/p99.  Wall times
 land in ``BENCH_summary.json`` for ``compare_bench.py``.
+
+Also hosts the observability-is-free-when-off micro-gate: with
+telemetry disabled, serving throughput (normalised by the sequential
+baseline measured on the same machine, so the gate is
+machine-independent) must stay within 5% of the pre-observability
+baseline recorded in ``BENCH_baseline.json``.
 """
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -27,6 +35,9 @@ pytestmark = pytest.mark.serve
 REQUESTS = 256
 #: Replica bank groups granted to the serving deployment.
 REPLICAS = 2
+#: Allowed relative throughput loss vs the recorded baseline for the
+#: telemetry-disabled overhead gate.
+OVERHEAD_BUDGET = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -93,13 +104,72 @@ def test_serve_loadgen_mlp_l(once, runtime, workload):
         assert report.requests == REQUESTS
         assert report.replicas == REPLICAS
         assert report.analytical_rps > 0
-        p50 = telemetry.percentile("serve.latency_ms", 50.0)
-        p99 = telemetry.percentile("serve.latency_ms", 99.0)
+        p50 = telemetry.percentile(
+            "serve.latency_ms", 50.0, tenant=runtime.tenant
+        )
+        p99 = telemetry.percentile(
+            "serve.latency_ms", 99.0, tenant=runtime.tenant
+        )
         assert 0 < p50 <= p99
         print()
         print(report.summary())
     finally:
         telemetry.disable()
+
+
+def _baseline_speedup() -> float | None:
+    """Serving-over-sequential speedup recorded in the bench baseline.
+
+    The ratio of two wall times measured on the same machine is the
+    machine-normalised quantity the overhead gate compares against; it
+    cancels absolute CPU speed, so the gate holds on any host.
+    """
+    path = Path(__file__).parent / "BENCH_baseline.json"
+    if not path.exists():
+        return None
+    marks = json.loads(path.read_text()).get("benchmarks", {})
+    serve = marks.get("test_serve_loadgen_mlp_l", {}).get("wall_s")
+    seq = marks.get("test_serve_sequential_baseline_mlp_l", {}).get(
+        "wall_s"
+    )
+    if not serve or not seq:
+        return None
+    return seq / serve
+
+
+def test_serve_telemetry_off_overhead(runtime, sequential, workload):
+    """Micro-gate: observability must be free when off.
+
+    With no telemetry session, every instrumented hook is one attribute
+    load and one ``is None`` test, and no envelope ships any delta —
+    so telemetry-disabled serving throughput (normalised by the
+    sequential baseline on the same machine) must stay within
+    ``OVERHEAD_BUDGET`` of the recorded pre-observability baseline.
+    Best-of-3 on both sides shaves scheduler noise.
+    """
+    baseline = _baseline_speedup()
+    assert baseline is not None, "bench baseline missing serve entries"
+    _, _, samples = workload
+    assert not telemetry.enabled()
+    assert runtime.spec.ship_telemetry is False
+    generator = LoadGenerator(runtime, samples)
+    generator.warmup()
+    serve_rps = max(
+        generator.run(REQUESTS).throughput_rps for _ in range(3)
+    )
+    sequential_rps = max(sequential(128) for _ in range(3))
+    speedup = serve_rps / sequential_rps
+    floor = baseline * (1.0 - OVERHEAD_BUDGET)
+    print()
+    print(
+        f"telemetry off: {speedup:.2f}x over sequential "
+        f"(baseline {baseline:.2f}x, floor {floor:.2f}x)"
+    )
+    assert speedup >= floor, (
+        f"telemetry-disabled serving dropped to {speedup:.2f}x over "
+        f"sequential; the pre-observability baseline was "
+        f"{baseline:.2f}x (-{OVERHEAD_BUDGET:.0%} floor {floor:.2f}x)"
+    )
 
 
 def test_serve_speedup_over_sequential(runtime, sequential, workload):
@@ -112,8 +182,12 @@ def test_serve_speedup_over_sequential(runtime, sequential, workload):
         sequential_rate = sequential(128)
         report = generator.run(REQUESTS)
         speedup = report.throughput_rps / sequential_rate
-        p50 = telemetry.percentile("serve.latency_ms", 50.0)
-        p99 = telemetry.percentile("serve.latency_ms", 99.0)
+        p50 = telemetry.percentile(
+            "serve.latency_ms", 50.0, tenant=runtime.tenant
+        )
+        p99 = telemetry.percentile(
+            "serve.latency_ms", 99.0, tenant=runtime.tenant
+        )
         print()
         print(
             f"serving {report.throughput_rps:,.0f} req/s vs sequential "

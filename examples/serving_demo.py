@@ -4,14 +4,20 @@ The paper's datacenter scenario, made operational: deploy MLP-L onto
 replica bank groups, serve a closed-loop request stream through the
 dynamic micro-batcher and the replica worker pool, and compare against
 sequential per-request execution on the same programmed state.  Also
-demonstrates the bit-identity oracle and the telemetry percentiles.
+demonstrates the bit-identity oracle, the end-to-end request tracing
+(merged coordinator + per-replica Chrome trace, per-stage latency
+breakdown), and SLO monitoring.
 
 Run:  python examples/serving_demo.py
+Writes ``serving_trace.json`` (load in Perfetto / chrome://tracing)
+and ``serving_report.json`` next to the working directory.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -48,10 +54,13 @@ def main() -> None:
     print(f"sequential per-request: {sequential_rate:,.0f} req/s")
 
     # -- serving runtime: micro-batching over replica workers ----------
+    # Cap the micro-batch below the request count so the measured run
+    # spans several batches — traffic round-robins both replicas and
+    # the merged trace shows every worker track.
     with ServingRuntime(
         net,
         topology,
-        serve_config=ServeConfig(mode="auto"),
+        serve_config=ServeConfig(mode="auto", max_batch=64),
         calibration=samples[:64],
         max_replicas=2,
     ) as runtime:
@@ -62,8 +71,9 @@ def main() -> None:
 
         generator = LoadGenerator(runtime, samples)
         generator.warmup()
-        # Fresh telemetry session so the histogram covers only the
-        # measured run, not the warmup (which pays pool programming).
+        # Fresh telemetry session so the histograms and the merged
+        # trace cover only the measured run, not the warmup (which
+        # pays pool programming).
         telemetry.enable()
         report = generator.run(REQUESTS)
         print(report.summary())
@@ -71,10 +81,39 @@ def main() -> None:
             f"speedup over sequential: "
             f"{report.throughput_rps / sequential_rate:.1f}x"
         )
+        tenant = report.tenant
+        p50 = telemetry.percentile(
+            "serve.latency_ms", 50.0, tenant=tenant
+        )
+        p99 = telemetry.percentile(
+            "serve.latency_ms", 99.0, tenant=tenant
+        )
         print(
-            "telemetry serve.latency_ms: "
-            f"p50={telemetry.percentile('serve.latency_ms', 50.0):.1f} ms "
-            f"p99={telemetry.percentile('serve.latency_ms', 99.0):.1f} ms"
+            f"telemetry serve.latency_ms{{tenant={tenant}}}: "
+            f"p50={p50:.1f} ms p99={p99:.1f} ms"
+        )
+
+        # -- request tracing + SLO: per-stage breakdown ----------------
+        monitor = telemetry.SLOMonitor(
+            [
+                telemetry.SLOObjective(
+                    tenant, percentile=99.0, threshold_ms=2 * p99
+                )
+            ]
+        )
+        serving = telemetry.serving_report(slo=monitor)
+        print()
+        print(serving.text())
+
+        trace_path = Path("serving_trace.json")
+        telemetry.write_chrome_trace(trace_path)
+        report_path = Path("serving_report.json")
+        report_path.write_text(json.dumps(serving.to_json(), indent=1))
+        print()
+        print(
+            f"wrote {trace_path} (coordinator + per-replica tracks; "
+            "open in Perfetto) and "
+            f"{report_path}"
         )
 
         # -- bit-identity: serving == direct run_functional ------------

@@ -26,6 +26,7 @@ import logging
 import math
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -33,6 +34,7 @@ from typing import Callable, Iterable, Sequence
 
 from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.telemetry.shipping import merge_delta, ship_call
 
 logger = logging.getLogger("repro.perf")
 
@@ -107,6 +109,16 @@ def _serial_map(
     return [fn(task) for task in tasks]
 
 
+def _shipped_call(payload: tuple):
+    """Pool target wrapping one task in a telemetry envelope.
+
+    Module-level (picklable) single-arg callable; the task function
+    rides inside the payload so one wrapper serves every fan-out.
+    """
+    fn, task = payload
+    return ship_call(fn, task)
+
+
 def parallel_map(
     fn: Callable,
     tasks: Iterable,
@@ -128,14 +140,46 @@ def parallel_map(
     if n <= 1 or len(tasks) <= 1:
         return _serial_map(fn, tasks, initializer, initargs)
     cs = chunksize if chunksize is not None else chunk_size(len(tasks), n)
+    ship = telemetry.enabled()
     try:
         with telemetry.span(
             "perf.parallel_map", tasks=len(tasks), workers=n, chunksize=cs
         ):
+            start_s = time.perf_counter()
             with ProcessPoolExecutor(
                 max_workers=n, initializer=initializer, initargs=initargs
             ) as pool:
-                results = list(pool.map(fn, tasks, chunksize=cs))
+                if ship:
+                    # Same shipping envelope the serving dispatchers
+                    # use: workers record under a scratch session, the
+                    # coordinator merges the deltas in task order with
+                    # stable per-worker tracks.
+                    envelopes = list(
+                        pool.map(
+                            _shipped_call,
+                            [(fn, task) for task in tasks],
+                            chunksize=cs,
+                        )
+                    )
+                    results = [e.value for e in envelopes]
+                else:
+                    results = list(pool.map(fn, tasks, chunksize=cs))
+        session = telemetry.session()
+        if ship and session is not None:
+            worker_tracks: dict[int, int] = {}
+            anchor = session.tracer.to_session_ns(start_s)
+            for envelope in envelopes:
+                if envelope.telemetry is None:
+                    continue
+                index = worker_tracks.setdefault(
+                    envelope.worker, len(worker_tracks)
+                )
+                merge_delta(
+                    session,
+                    envelope.telemetry,
+                    track=f"worker:{index}",
+                    anchor_ns=anchor,
+                )
         telemetry.count("perf.parallel.tasks", len(tasks))
         telemetry.gauge("perf.parallel.workers", n)
         return results

@@ -22,6 +22,14 @@ compile/program/run pipeline into a resident service:
   p50/p95/p99 latency metering (``serve.*`` telemetry) and the
   analytical throughput cross-check.
 
+Every request carries a trace context (deterministic trace id, tenant
+label, arrival time) and its lifecycle is recorded as
+``serve.request`` spans with batcher/queue/replica children; replica
+workers ship their telemetry deltas back in each result envelope
+(:mod:`repro.telemetry.shipping`) and the coordinator merges them
+deterministically — see :func:`repro.telemetry.serving_report` for the
+per-stage latency breakdown and SLO attainment view.
+
 See README "Serving" for the knobs and the guarantee, and
 ``benchmarks/test_serve_throughput.py`` for the steady-state speedup
 this buys over per-request execution.

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.telemetry.request import TraceContext, make_trace_id
 
 __all__ = ["ServeRequest", "MicroBatcher", "DEFAULT_MAX_WAIT_S"]
 
@@ -33,13 +34,33 @@ DEFAULT_MAX_WAIT_S = 0.002
 
 @dataclass
 class ServeRequest:
-    """One in-flight inference request (a single sample)."""
+    """One in-flight inference request (a single sample).
+
+    Carries its trace context (tenant + deterministic trace id) and
+    the lifecycle timestamps the runtime stamps as the request moves
+    enqueue → batch-formed → dispatched → done; the per-stage latency
+    accounting and the retroactive request spans are derived from them
+    at collection time.
+    """
 
     req_id: int
     x: np.ndarray
     t_enqueue: float
+    tenant: str = ""
+    trace_id: str = ""
+    t_batched: float | None = None
+    t_dispatched: float | None = None
     t_done: float | None = None
     result: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def trace(self) -> TraceContext:
+        """This request's trace context."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            tenant=self.tenant,
+            arrival_s=self.t_enqueue,
+        )
 
     @property
     def done(self) -> bool:
@@ -63,6 +84,7 @@ class MicroBatcher:
         max_batch: int,
         max_wait_s: float = DEFAULT_MAX_WAIT_S,
         clock=time.perf_counter,
+        tenant: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError("max_batch must be >= 1")
@@ -71,6 +93,10 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.clock = clock
+        #: Tenant (model) label; when set, every request gets a trace
+        #: context and the batcher's metrics carry ``tenant=`` labels.
+        self.tenant = tenant
+        self._labels = {"tenant": tenant} if tenant else {}
         self._queue: deque[ServeRequest] = deque()
         self._next_id = 0
 
@@ -83,15 +109,27 @@ class MicroBatcher:
         return len(self._queue)
 
     def submit(self, x: np.ndarray) -> ServeRequest:
-        """Enqueue one sample; returns its tracking handle."""
+        """Enqueue one sample; returns its tracking handle.
+
+        This is where a request's trace context is born: the id is a
+        deterministic function of the tenant and the submission index,
+        so two runs of the same traffic produce the same trace ids.
+        """
+        tenant = self.tenant or ""
         request = ServeRequest(
-            req_id=self._next_id, x=np.asarray(x), t_enqueue=self.clock()
+            req_id=self._next_id,
+            x=np.asarray(x),
+            t_enqueue=self.clock(),
+            tenant=tenant,
+            trace_id=make_trace_id(tenant or "serve", self._next_id),
         )
         self._next_id += 1
         self._queue.append(request)
         if telemetry.enabled():
-            telemetry.count("serve.requests")
-            telemetry.gauge("serve.queue_depth", len(self._queue))
+            telemetry.count("serve.requests", **self._labels)
+            telemetry.gauge(
+                "serve.queue_depth", len(self._queue), **self._labels
+            )
         return request
 
     def ready(self, now: float | None = None) -> bool:
@@ -118,10 +156,15 @@ class MicroBatcher:
             return None
         size = min(len(self._queue), self.max_batch)
         batch = [self._queue.popleft() for _ in range(size)]
+        t_batched = self.clock()
+        for request in batch:
+            request.t_batched = t_batched
         if telemetry.enabled():
-            telemetry.count("serve.batches")
-            telemetry.observe("serve.batch_size", size)
-            telemetry.gauge("serve.queue_depth", len(self._queue))
+            telemetry.count("serve.batches", **self._labels)
+            telemetry.observe("serve.batch_size", size, **self._labels)
+            telemetry.gauge(
+                "serve.queue_depth", len(self._queue), **self._labels
+            )
         return batch
 
     def drain(self):

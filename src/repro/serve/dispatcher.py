@@ -26,7 +26,9 @@ is reproducible and routing-independent too.
 from __future__ import annotations
 
 import logging
+import os
 import pickle
+import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -44,6 +46,7 @@ from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig
 from repro.perf.parallel import ParallelFallbackWarning, task_seed
 from repro.resilience.policy import ResiliencePolicy
+from repro.telemetry.shipping import ResultEnvelope, run_scoped
 
 __all__ = [
     "WorkerSpec",
@@ -78,6 +81,11 @@ class WorkerSpec:
     with_noise: bool = False
     resilience: ResiliencePolicy | None = None
     calibration: np.ndarray | None = field(default=None, repr=False)
+    #: Record telemetry worker-side under a scratch session and ship it
+    #: back in every :class:`~repro.telemetry.shipping.ResultEnvelope`.
+    #: Set by the runtime when the coordinator has telemetry enabled at
+    #: deploy time; costs nothing when off.
+    ship_telemetry: bool = False
 
     @property
     def use_rng(self) -> bool:
@@ -165,18 +173,78 @@ def run_programmed(
 
 #: Per-process worker state: (spec, executor, programmed) after init.
 _WORKER_STATE: tuple | None = None
+#: Telemetry recorded while this worker initialised (programming +
+#: calibration), held until the first served batch ships it to the
+#: coordinator.  Kept separate from per-batch deltas so execution
+#: telemetry stays a pure function of the batches served — the
+#: serial-vs-process determinism contract.
+_WORKER_INIT_DELTA = None
+
+
+def _serve_batch(
+    spec: WorkerSpec,
+    executor: PrimeExecutor,
+    programmed: list[ProgrammedLayer],
+    batch: np.ndarray,
+    noise_seed: int | None,
+    ship: bool,
+    init_delta=None,
+) -> ResultEnvelope:
+    """Run one micro-batch and envelope the result.
+
+    Shared by both dispatchers so serial and process mode produce their
+    telemetry deltas through the *same* code path — the arithmetic that
+    makes merged counter totals bit-identical across modes.  Execution
+    wall time is measured even with shipping off, so the coordinator's
+    per-stage latency accounting works in every mode.
+    """
+    if ship:
+        result, delta, execute_ns = run_scoped(
+            run_programmed, spec, executor, programmed, batch, noise_seed
+        )
+        return ResultEnvelope(
+            value=result,
+            worker=os.getpid(),
+            execute_ns=execute_ns,
+            telemetry=None if delta.empty else delta,
+            init_telemetry=init_delta,
+        )
+    start = time.perf_counter_ns()
+    result = run_programmed(spec, executor, programmed, batch, noise_seed)
+    return ResultEnvelope(
+        value=result,
+        worker=os.getpid(),
+        execute_ns=time.perf_counter_ns() - start,
+    )
 
 
 def _pool_init(payload: bytes) -> None:
-    global _WORKER_STATE
+    global _WORKER_STATE, _WORKER_INIT_DELTA
     spec = pickle.loads(payload)
-    _WORKER_STATE = (spec,) + program_state(spec)
+    if spec.ship_telemetry:
+        state, delta, _ = run_scoped(program_state, spec)
+        _WORKER_INIT_DELTA = None if delta.empty else delta
+    else:
+        state = program_state(spec)
+    _WORKER_STATE = (spec,) + state
 
 
-def _pool_run(args: tuple) -> np.ndarray:
-    batch, noise_seed = args
+def _pool_run(args: tuple) -> ResultEnvelope:
+    global _WORKER_INIT_DELTA
+    batch, noise_seed, ship = args
     spec, executor, programmed = _WORKER_STATE
-    return run_programmed(spec, executor, programmed, batch, noise_seed)
+    envelope = _serve_batch(
+        spec,
+        executor,
+        programmed,
+        batch,
+        noise_seed,
+        ship,
+        init_delta=_WORKER_INIT_DELTA if ship else None,
+    )
+    if ship:
+        _WORKER_INIT_DELTA = None
+    return envelope
 
 
 def _pool_ping() -> bool:
@@ -186,8 +254,11 @@ def _pool_ping() -> bool:
 class SerialDispatcher:
     """In-process fallback: one programmed copy, served inline.
 
-    ``dispatch`` returns an already-resolved :class:`Future` so the
-    runtime drives both dispatchers identically.
+    ``dispatch`` returns an already-resolved :class:`Future` holding a
+    :class:`~repro.telemetry.shipping.ResultEnvelope`, so the runtime
+    drives both dispatchers identically — including telemetry shipping:
+    serial execution records into the same scratch-session envelope a
+    pool worker would, and the runtime merges it back the same way.
     """
 
     mode = "serial"
@@ -196,26 +267,44 @@ class SerialDispatcher:
         self.spec = spec
         self.replicas = replicas
         self._state: tuple | None = None
+        self._init_delta = None
 
     def _ensure(self):
         if self._state is None:
-            self._state = program_state(self.spec)
+            if self.spec.ship_telemetry:
+                state, delta, _ = run_scoped(program_state, self.spec)
+                self._init_delta = None if delta.empty else delta
+            else:
+                state = program_state(self.spec)
+            self._state = state
         return self._state
 
     def dispatch(
-        self, batch: np.ndarray, noise_seed: int | None = None
+        self,
+        batch: np.ndarray,
+        noise_seed: int | None = None,
+        ship: bool = False,
     ) -> Future:
         executor, programmed = self._ensure()
         future: Future = Future()
         future.set_result(
-            run_programmed(
-                self.spec, executor, programmed, batch, noise_seed
+            _serve_batch(
+                self.spec,
+                executor,
+                programmed,
+                batch,
+                noise_seed,
+                ship,
+                init_delta=self._init_delta if ship else None,
             )
         )
+        if ship:
+            self._init_delta = None
         return future
 
     def close(self) -> None:
         self._state = None
+        self._init_delta = None
 
 
 class ProcessDispatcher:
@@ -244,9 +333,12 @@ class ProcessDispatcher:
             raise BrokenProcessPool("pool worker failed to initialise")
 
     def dispatch(
-        self, batch: np.ndarray, noise_seed: int | None = None
+        self,
+        batch: np.ndarray,
+        noise_seed: int | None = None,
+        ship: bool = False,
     ) -> Future:
-        return self._pool.submit(_pool_run, (batch, noise_seed))
+        return self._pool.submit(_pool_run, (batch, noise_seed, ship))
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)

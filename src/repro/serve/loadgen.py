@@ -53,6 +53,11 @@ class LoadReport:
     #: analytical cross-check (simulation wall-clock vs modelled
     #: hardware time — the ratio is reported, not asserted).
     analytical_rps: float
+    #: Tenant label the runtime stamped on this traffic; the report's
+    #: percentiles match ``telemetry.percentile("serve.latency_ms",
+    #: q, tenant=...)`` on the same run (same samples, same
+    #: nearest-rank definition).
+    tenant: str = ""
 
     @property
     def model_ratio(self) -> float:
@@ -155,16 +160,17 @@ class LoadGenerator:
             replicas=runtime.replicas,
             mode=runtime.mode,
             analytical_rps=runtime.analytical_throughput(),
+            tenant=getattr(runtime, "tenant", runtime.name),
         )
         if telemetry.enabled():
             telemetry.gauge(
                 "serve.throughput_rps",
                 report.throughput_rps,
-                workload=runtime.name,
+                tenant=report.tenant,
             )
             telemetry.gauge(
                 "serve.analytical_rps",
                 report.analytical_rps,
-                workload=runtime.name,
+                tenant=report.tenant,
             )
         return report

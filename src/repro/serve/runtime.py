@@ -68,6 +68,9 @@ class ServeConfig:
     seed: int = 0
     #: Sample read noise during serving (seeded-reproducible).
     with_noise: bool = False
+    #: Tenant (model) label stamped on every request's trace context
+    #: and on the ``serve.*`` metrics; defaults to the deployment name.
+    tenant: str = ""
 
 
 class ServingRuntime:
@@ -99,8 +102,15 @@ class ServingRuntime:
                 max_batch = max(
                     1, min(self.serve_config.max_batch_cap, chunk)
                 )
+            #: Tenant label on every trace context and ``serve.*``
+            #: metric this runtime records.
+            self.tenant = (
+                self.serve_config.tenant or self.deployment.name
+            )
             self.batcher = MicroBatcher(
-                max_batch, self.serve_config.max_wait_s
+                max_batch,
+                self.serve_config.max_wait_s,
+                tenant=self.tenant,
             )
             self.spec = WorkerSpec(
                 network=network,
@@ -110,6 +120,7 @@ class ServingRuntime:
                 with_noise=self.serve_config.with_noise,
                 resilience=resilience,
                 calibration=calibration,
+                ship_telemetry=telemetry.enabled(),
             )
             self.dispatcher = make_dispatcher(
                 self.spec,
@@ -119,9 +130,12 @@ class ServingRuntime:
         #: Micro-batches dispatched so far (also the per-batch noise
         #: stream index).
         self.batches_dispatched = 0
-        #: (future, requests) pairs awaiting collection, in dispatch
-        #: order.
+        #: (future, requests, t_dispatch) triples awaiting collection,
+        #: in dispatch order.
         self._inflight: list[tuple] = []
+        #: Worker pid → stable replica track index, in first-seen
+        #: order, for labelling merged worker telemetry.
+        self._worker_tracks: dict[int, int] = {}
         self._closed = False
 
     # -- properties -----------------------------------------------------
@@ -164,7 +178,19 @@ class ServingRuntime:
             if batch is None:
                 break
             self._dispatch(batch)
-        return self._collect()
+        completed = self._collect()
+        if telemetry.enabled():
+            telemetry.gauge(
+                "serve.inflight_batches",
+                len(self._inflight),
+                tenant=self.tenant,
+            )
+            telemetry.gauge(
+                "serve.queue_depth",
+                self.batcher.queue_depth,
+                tenant=self.tenant,
+            )
+        return completed
 
     def serve(self, samples: np.ndarray) -> np.ndarray:
         """Convenience loop: submit every sample, drain, stack outputs.
@@ -185,27 +211,128 @@ class ServingRuntime:
             )
         replica = self.batches_dispatched % max(self.replicas, 1)
         self.batches_dispatched += 1
+        ship = self.spec.ship_telemetry and telemetry.enabled()
         if telemetry.enabled():
-            telemetry.count("serve.replica_batches", replica=replica)
-        future = self.dispatcher.dispatch(stacked, noise_seed)
-        self._inflight.append((future, batch))
+            telemetry.count(
+                "serve.replica_batches",
+                replica=replica,
+                tenant=self.tenant,
+            )
+            telemetry.observe(
+                "serve.batch_occupancy",
+                len(batch) / self.max_batch,
+                tenant=self.tenant,
+            )
+        t_dispatch = self.batcher.clock()
+        for request in batch:
+            request.t_dispatched = t_dispatch
+        future = self.dispatcher.dispatch(stacked, noise_seed, ship=ship)
+        self._inflight.append((future, batch, t_dispatch))
 
     def _collect(self) -> int:
         completed = 0
         clock = self.batcher.clock
-        for future, batch in self._inflight:
-            outputs = future.result()
+        for future, batch, t_dispatch in self._inflight:
+            envelope = future.result()
             now = clock()
-            for request, row in zip(batch, outputs):
+            if telemetry.enabled():
+                self._merge_worker_telemetry(envelope, t_dispatch)
+            for request, row in zip(batch, envelope.value):
                 request.result = row
                 request.t_done = now
                 completed += 1
                 if telemetry.enabled():
-                    telemetry.observe(
-                        "serve.latency_ms", request.latency_s * 1e3
-                    )
+                    self._record_request(request, envelope.execute_ns)
         self._inflight.clear()
         return completed
+
+    def _merge_worker_telemetry(self, envelope, t_dispatch: float) -> None:
+        """Fold a shipped worker delta into the coordinator session.
+
+        Workers get stable ``replica:N`` tracks in first-seen pid
+        order; their spans are re-anchored to the coordinator's
+        dispatch timestamp so the merged Chrome trace shows worker
+        activity where the coordinator handed the batch off.
+        """
+        if envelope.telemetry is None and envelope.init_telemetry is None:
+            return
+        session = telemetry.session()
+        if session is None:
+            return
+        index = self._worker_tracks.setdefault(
+            envelope.worker, len(self._worker_tracks)
+        )
+        track = f"replica:{index}"
+        anchor = session.tracer.to_session_ns(t_dispatch)
+        if envelope.init_telemetry is not None:
+            telemetry.merge_delta(
+                session, envelope.init_telemetry, track=track
+            )
+        if envelope.telemetry is not None:
+            telemetry.merge_delta(
+                session, envelope.telemetry, track=track, anchor_ns=anchor
+            )
+
+    def _record_request(
+        self, request: ServeRequest, execute_ns: int
+    ) -> None:
+        """Record one completed request: latency, stages, trace spans.
+
+        The three stages partition the measured latency exactly —
+        ``batcher`` (enqueue → batch formed) and ``replica`` (the
+        worker-measured execution wall time) are taken directly, and
+        ``queue`` is the remainder (dispatch overhead, worker queueing,
+        future resolution) — so per-stage means always sum to the
+        end-to-end mean.
+        """
+        tenant = self.tenant
+        latency_ms = request.latency_s * 1e3
+        t_batched = (
+            request.t_batched
+            if request.t_batched is not None
+            else request.t_enqueue
+        )
+        batcher_ms = (t_batched - request.t_enqueue) * 1e3
+        replica_ms = execute_ns / 1e6
+        queue_ms = max(0.0, latency_ms - batcher_ms - replica_ms)
+        telemetry.observe("serve.latency_ms", latency_ms, tenant=tenant)
+        telemetry.observe(
+            "serve.stage_ms", batcher_ms, stage="batcher", tenant=tenant
+        )
+        telemetry.observe(
+            "serve.stage_ms", queue_ms, stage="queue", tenant=tenant
+        )
+        telemetry.observe(
+            "serve.stage_ms", replica_ms, stage="replica", tenant=tenant
+        )
+        session = telemetry.session()
+        if session is None:
+            return
+        tracer = session.tracer
+        start = tracer.to_session_ns(request.t_enqueue)
+        end = tracer.to_session_ns(request.t_done)
+        parent = tracer.add_span(
+            "serve.request",
+            start,
+            end,
+            attrs={"trace_id": request.trace_id, "tenant": tenant},
+        )
+        # Contiguous child timeline: batcher, residual queue, replica.
+        cut_batched = start + int(batcher_ms * 1e6)
+        cut_queue = min(end, cut_batched + int(queue_ms * 1e6))
+        for name, s, e in (
+            ("serve.request.batcher", start, cut_batched),
+            ("serve.request.queue", cut_batched, cut_queue),
+            ("serve.request.replica", cut_queue, end),
+        ):
+            tracer.add_span(
+                name,
+                s,
+                e,
+                attrs={"trace_id": request.trace_id},
+                parent_index=parent.index,
+                depth=1,
+            )
 
     # -- cross-checks ---------------------------------------------------
 

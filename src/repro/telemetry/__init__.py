@@ -63,6 +63,7 @@ __all__ = [
     "disable",
     "enabled",
     "session",
+    "swap_session",
     "span",
     "model_event",
     "count",
@@ -78,6 +79,21 @@ __all__ = [
     "write_snapshot",
     "summary",
     "log_summary",
+    # cross-process shipping (repro.telemetry.shipping)
+    "TelemetryDelta",
+    "ResultEnvelope",
+    "capture_delta",
+    "merge_delta",
+    "run_scoped",
+    "ship_call",
+    # request tracing + SLO monitoring (repro.telemetry.request)
+    "TraceContext",
+    "make_trace_id",
+    "SLOObjective",
+    "SLOStatus",
+    "SLOMonitor",
+    "ServingReport",
+    "serving_report",
 ]
 
 
@@ -121,6 +137,22 @@ def session() -> TelemetrySession | None:
     return _SESSION
 
 
+def swap_session(
+    new: TelemetrySession | None,
+) -> TelemetrySession | None:
+    """Install ``new`` as the active session; return the previous one.
+
+    The primitive behind :func:`repro.telemetry.shipping.run_scoped`:
+    workers swap in a scratch session around a payload so everything it
+    records can be captured and shipped back to the coordinator, then
+    swap the previous session (usually ``None``) back in.
+    """
+    global _SESSION
+    previous = _SESSION
+    _SESSION = new
+    return previous
+
+
 # ----------------------------------------------------------------------
 # recording fast paths (no-ops while disabled)
 # ----------------------------------------------------------------------
@@ -153,7 +185,8 @@ def count(name: str, value: float = 1.0, **labels: object) -> None:
     s = _SESSION
     if s is None:
         return
-    s.metrics.counter(name, **labels).add(value)
+    with s.metrics.lock:
+        s.metrics.counter(name, **labels).add(value)
 
 
 def gauge(name: str, value: float, **labels: object) -> None:
@@ -161,7 +194,8 @@ def gauge(name: str, value: float, **labels: object) -> None:
     s = _SESSION
     if s is None:
         return
-    s.metrics.gauge(name, **labels).set(value)
+    with s.metrics.lock:
+        s.metrics.gauge(name, **labels).set(value)
 
 
 def observe(name: str, value: float, **labels: object) -> None:
@@ -169,7 +203,8 @@ def observe(name: str, value: float, **labels: object) -> None:
     s = _SESSION
     if s is None:
         return
-    s.metrics.histogram(name, **labels).observe(value)
+    with s.metrics.lock:
+        s.metrics.histogram(name, **labels).observe(value)
 
 
 # ----------------------------------------------------------------------
@@ -234,6 +269,27 @@ def summary(top: int = 12) -> str:
 def log_summary(logger: logging.Logger | None = None) -> str:
     """Log the summary at INFO via the ``repro.telemetry`` logger."""
     return _export.log_summary(_require(), logger=logger)
+
+
+# Re-exports; imported late so both submodules can refer back to the
+# package-level session helpers at call time without a cycle.
+from repro.telemetry.shipping import (  # noqa: E402
+    ResultEnvelope,
+    TelemetryDelta,
+    capture_delta,
+    merge_delta,
+    run_scoped,
+    ship_call,
+)
+from repro.telemetry.request import (  # noqa: E402
+    SLOMonitor,
+    SLOObjective,
+    SLOStatus,
+    ServingReport,
+    TraceContext,
+    make_trace_id,
+    serving_report,
+)
 
 
 if os.environ.get("PRIME_TELEMETRY", "").strip().lower() not in (

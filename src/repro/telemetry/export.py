@@ -26,23 +26,42 @@ MODEL_PID_BASE = 2
 
 
 def chrome_trace_events(session) -> list[dict]:
-    """Render ``session`` as a Chrome trace_event list (sorted by ts)."""
+    """Render ``session`` as a Chrome trace_event list (sorted by ts).
+
+    Wall spans with no track are the coordinator and stay on
+    :data:`WALL_PID`; spans carrying a track (worker telemetry merged
+    from shipped deltas, e.g. ``replica:1``) get one pid per track so
+    every worker process renders as its own track group.
+    """
     tracer = session.tracer
+    model_tracks = sorted({e.track for e in tracer.model_events})
+    track_pids = {
+        t: MODEL_PID_BASE + i for i, t in enumerate(model_tracks)
+    }
+    span_tracks = sorted(
+        {r.track for r in tracer.spans if r.track is not None}
+    )
+    span_pids = {
+        t: MODEL_PID_BASE + len(model_tracks) + j
+        for j, t in enumerate(span_tracks)
+    }
     events: list[dict] = []
     for record in tracer.spans:
         events.append(
             {
                 "name": record.name,
                 "ph": "X",
-                "pid": WALL_PID,
+                "pid": (
+                    WALL_PID
+                    if record.track is None
+                    else span_pids[record.track]
+                ),
                 "tid": 1,
                 "ts": record.start_ns / 1e3,
                 "dur": record.duration_ns / 1e3,
                 "args": dict(record.attrs),
             }
         )
-    tracks = sorted({e.track for e in tracer.model_events})
-    track_pids = {t: MODEL_PID_BASE + i for i, t in enumerate(tracks)}
     for event in tracer.model_events:
         events.append(
             {
@@ -56,10 +75,21 @@ def chrome_trace_events(session) -> list[dict]:
             }
         )
     events.sort(key=lambda e: (e["pid"], e["ts"]))
-    names = [(WALL_PID, "wall clock (simulator)")] + [
-        (pid, f"model time ({track})")
-        for track, pid in sorted(track_pids.items(), key=lambda kv: kv[1])
-    ]
+    names = (
+        [(WALL_PID, "wall clock (coordinator)")]
+        + [
+            (pid, f"model time ({track})")
+            for track, pid in sorted(
+                track_pids.items(), key=lambda kv: kv[1]
+            )
+        ]
+        + [
+            (pid, f"wall clock ({track})")
+            for track, pid in sorted(
+                span_pids.items(), key=lambda kv: kv[1]
+            )
+        ]
+    )
     meta = [
         {
             "name": "process_name",
@@ -92,6 +122,7 @@ def snapshot(session) -> dict:
             "parent": r.parent_index,
             "start_ns": r.start_ns,
             "duration_ns": r.duration_ns,
+            "track": r.track,
             "attrs": dict(r.attrs),
         }
         for r in tracer.spans

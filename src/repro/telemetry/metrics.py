@@ -13,6 +13,7 @@ in nanojoules, bare names for event counts and ratios.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 
@@ -106,22 +107,81 @@ class Histogram:
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    def attainment(self, threshold: float) -> float:
+        """Fraction of retained samples at or under ``threshold``.
+
+        The SLO monitor's primitive: on an undecimated histogram
+        (``sample_stride == 1``) this is the exact fraction of
+        observations meeting the objective; on a decimated one it is
+        the same deterministic estimate the percentiles use.  Returns
+        1.0 for an empty histogram (no traffic burns no budget).
+        """
+        if not self.samples:
+            return 1.0
+        met = sum(1 for v in self.samples if v <= threshold)
+        return met / len(self.samples)
+
+    def merge(
+        self,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        samples: list[float],
+        stride: int = 1,
+    ) -> None:
+        """Fold another histogram's state (a shipped delta) into this one.
+
+        When the incoming delta is undecimated (``stride == 1`` and
+        every observation retained) the merge replays it through
+        :meth:`observe`, so a stream recorded worker-side and merged
+        batch-by-batch in dispatch order is *bit-identical* to the same
+        stream observed live — the associativity the serial-vs-process
+        determinism tests assert.  Decimated deltas fall back to exact
+        count/sum/min/max aggregation with spliced samples (approximate
+        percentiles, like any decimated stream).
+        """
+        if stride == 1 and count == len(samples):
+            for value in samples:
+                self.observe(value)
+            return
+        self.count += int(count)
+        self.total += float(total)
+        if count:
+            self.minimum = min(self.minimum, minimum)
+            self.maximum = max(self.maximum, maximum)
+        self.samples.extend(samples)
+        self.sample_stride = max(self.sample_stride, int(stride))
+        while len(self.samples) >= SAMPLE_CAP:
+            self.samples = self.samples[::2]
+            self.sample_stride *= 2
+
 
 class MetricsRegistry:
-    """Get-or-create store of every metric recorded this session."""
+    """Get-or-create store of every metric recorded this session.
+
+    A single reentrant :attr:`lock` guards registry mutation.  The
+    package-level recording helpers (``telemetry.count`` / ``gauge`` /
+    ``observe``) and the shipping merge hold it around the whole
+    get-and-update, so concurrent live recording and merge-on-result
+    cannot corrupt a metric or lose an increment.
+    """
 
     def __init__(self) -> None:
+        self.lock = threading.RLock()
         self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
 
     def _get(self, cls, name: str, labels: dict[str, object]):
         key = (cls.__name__, name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(
-                name=name, labels={k: str(v) for k, v in labels.items()}
-            )
-            self._metrics[key] = metric
-        return metric
+        with self.lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(
+                    name=name,
+                    labels={k: str(v) for k, v in labels.items()},
+                )
+                self._metrics[key] = metric
+            return metric
 
     def counter(self, name: str, **labels: object) -> Counter:
         return self._get(Counter, name, labels)

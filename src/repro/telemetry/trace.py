@@ -18,6 +18,7 @@ separate pids so Perfetto renders them as separate processes.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -33,6 +34,11 @@ class SpanRecord:
     start_ns: int
     end_ns: int | None = None
     attrs: dict = field(default_factory=dict)
+    #: Execution track the span belongs to.  ``None`` is the local
+    #: (coordinator) wall track; spans merged from a shipped worker
+    #: delta carry the worker's track label (e.g. ``replica:1``) so the
+    #: Chrome exporter renders each worker as its own process.
+    track: str | None = None
 
     @property
     def duration_ns(self) -> int:
@@ -93,10 +99,16 @@ NULL_SPAN = NullSpan()
 
 
 class Tracer:
-    """Collects wall spans (with nesting) and model events in order."""
+    """Collects wall spans (with nesting) and model events in order.
+
+    All mutating entry points hold :attr:`lock` (reentrant), so live
+    recording and delta merges arriving from worker result envelopes
+    cannot corrupt the span list or the open-span stack.
+    """
 
     def __init__(self) -> None:
         self.origin_ns = time.perf_counter_ns()
+        self.lock = threading.RLock()
         self.spans: list[SpanRecord] = []
         self.model_events: list[ModelEvent] = []
         self._stack: list[SpanRecord] = []
@@ -104,30 +116,68 @@ class Tracer:
         #: sequentially without tracking their own time base.
         self._model_cursors: dict[str, float] = {}
 
+    def to_session_ns(self, t_s: float) -> int:
+        """Convert a ``time.perf_counter()`` reading (seconds) to this
+        tracer's session-relative nanoseconds."""
+        return int(t_s * 1e9) - self.origin_ns
+
     # -- wall spans ------------------------------------------------------
 
     def span(self, name: str, **attrs: object) -> Span:
-        parent = self._stack[-1] if self._stack else None
-        record = SpanRecord(
-            name=name,
-            index=len(self.spans),
-            depth=len(self._stack),
-            parent_index=parent.index if parent else None,
-            start_ns=time.perf_counter_ns() - self.origin_ns,
-            attrs=dict(attrs),
-        )
-        self.spans.append(record)
-        self._stack.append(record)
-        return Span(self, record)
+        with self.lock:
+            parent = self._stack[-1] if self._stack else None
+            record = SpanRecord(
+                name=name,
+                index=len(self.spans),
+                depth=len(self._stack),
+                parent_index=parent.index if parent else None,
+                start_ns=time.perf_counter_ns() - self.origin_ns,
+                attrs=dict(attrs),
+            )
+            self.spans.append(record)
+            self._stack.append(record)
+            return Span(self, record)
 
     def end_span(self, span: Span) -> None:
-        span.record.end_ns = time.perf_counter_ns() - self.origin_ns
-        # Unwind to (and including) this record even if an inner span
-        # leaked open — exceptions must not corrupt the stack.
-        while self._stack:
-            top = self._stack.pop()
-            if top is span.record:
-                break
+        with self.lock:
+            span.record.end_ns = time.perf_counter_ns() - self.origin_ns
+            # Unwind to (and including) this record even if an inner
+            # span leaked open — exceptions must not corrupt the stack.
+            while self._stack:
+                top = self._stack.pop()
+                if top is span.record:
+                    break
+
+    def add_span(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        attrs: dict | None = None,
+        track: str | None = None,
+        parent_index: int | None = None,
+        depth: int = 0,
+    ) -> SpanRecord:
+        """Append an already-completed span with explicit coordinates.
+
+        This is the retroactive entry point: request lifecycle spans
+        are emitted at collection time from recorded timestamps, and
+        shipped worker spans are re-anchored here during delta merge.
+        It never touches the open-span stack.
+        """
+        with self.lock:
+            record = SpanRecord(
+                name=name,
+                index=len(self.spans),
+                depth=depth,
+                parent_index=parent_index,
+                start_ns=int(start_ns),
+                end_ns=int(end_ns),
+                attrs=dict(attrs or {}),
+                track=track,
+            )
+            self.spans.append(record)
+            return record
 
     @property
     def depth(self) -> int:
@@ -150,23 +200,24 @@ class Tracer:
         previous event ended, building a gap-free timeline whose total
         extent equals the summed durations.
         """
-        ts_ns = (
-            self._model_cursors.get(track, 0.0)
-            if ts_s is None
-            else ts_s * 1e9
-        )
-        event = ModelEvent(
-            name=name,
-            track=track,
-            ts_ns=ts_ns,
-            dur_ns=dur_s * 1e9,
-            attrs=dict(attrs),
-        )
-        self.model_events.append(event)
-        self._model_cursors[track] = max(
-            self._model_cursors.get(track, 0.0), ts_ns + event.dur_ns
-        )
-        return event
+        with self.lock:
+            ts_ns = (
+                self._model_cursors.get(track, 0.0)
+                if ts_s is None
+                else ts_s * 1e9
+            )
+            event = ModelEvent(
+                name=name,
+                track=track,
+                ts_ns=ts_ns,
+                dur_ns=dur_s * 1e9,
+                attrs=dict(attrs),
+            )
+            self.model_events.append(event)
+            self._model_cursors[track] = max(
+                self._model_cursors.get(track, 0.0), ts_ns + event.dur_ns
+            )
+            return event
 
     def model_track_extent_ns(self, track: str) -> float:
         """End of the last model event on ``track`` (ns)."""

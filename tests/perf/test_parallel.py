@@ -31,6 +31,13 @@ def _square(x: int) -> int:
     return x * x
 
 
+def _square_counted(x: int) -> int:
+    with telemetry.span("fanout.task", x=x):
+        telemetry.count("fanout.calls")
+        telemetry.observe("fanout.x", float(x))
+        return x * x
+
+
 _INIT_CALLS: list[tuple] = []
 
 
@@ -115,6 +122,44 @@ class TestParallelMap:
         )
         assert out == [4, 9]
         assert _INIT_CALLS == [("serial",)]
+
+    def test_worker_telemetry_ships_back_to_coordinator(self):
+        """Fan-out reuses the serving shipping envelope: counters and
+        histograms recorded inside workers land in the coordinator's
+        session with per-worker span tracks, totals exact."""
+        tasks = list(range(12))
+        telemetry.enable()
+        try:
+            out = parallel_map(_square_counted, tasks, workers=2)
+            assert out == [t * t for t in tasks]
+            assert telemetry.counter_total("fanout.calls") == len(tasks)
+            hist = telemetry.session().metrics.histogram("fanout.x")
+            assert hist.count == len(tasks)
+            assert hist.total == float(sum(tasks))
+            tracks = {
+                s.track
+                for s in telemetry.session().tracer.spans
+                if s.track is not None
+            }
+            assert tracks  # at least one worker track merged
+            assert all(t.startswith("worker:") for t in tracks)
+        finally:
+            telemetry.disable()
+
+    def test_worker_telemetry_matches_serial_totals(self):
+        tasks = list(range(9))
+        totals = {}
+        for workers in (1, 3):
+            telemetry.enable()
+            parallel_map(_square_counted, tasks, workers=workers)
+            m = telemetry.session().metrics
+            totals[workers] = (
+                m.counter_total("fanout.calls"),
+                m.histogram("fanout.x").total,
+                m.histogram("fanout.x").count,
+            )
+            telemetry.disable()
+        assert totals[1] == totals[3]
 
     def test_pool_failure_warns_and_counts(self):
         """An unpicklable payload breaks the pool; the serial fallback

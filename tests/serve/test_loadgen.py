@@ -98,15 +98,21 @@ class TestLoadGenerator:
         # Every request's latency also landed in the telemetry
         # histogram (warmup batches included — one per replica), and
         # the throughput gauges were published.
-        hist = telemetry.session().metrics.histogram("serve.latency_ms")
+        hist = telemetry.session().metrics.histogram(
+            "serve.latency_ms", tenant=rt.tenant
+        )
         assert hist.count == 40 + rt.max_batch * rt.replicas
-        assert telemetry.percentile("serve.latency_ms", 99.0) > 0
+        assert (
+            telemetry.percentile("serve.latency_ms", 99.0, tenant=rt.tenant)
+            > 0
+        )
         assert (
             telemetry.gauge_value(
-                "serve.throughput_rps", workload=rt.name
+                "serve.throughput_rps", tenant=report.tenant
             )
             == pytest.approx(report.throughput_rps)
         )
+        assert report.tenant == rt.tenant
 
     def test_summary_is_human_readable(self, runtime):
         rt, samples = runtime

@@ -230,14 +230,16 @@ class TestLifecycle:
             assert runtime.replicas == 2
             runtime.serve(samples)  # 4 micro-batches of 5
         assert telemetry.counter_value(
-            "serve.replica_batches", replica=0
+            "serve.replica_batches", replica=0, tenant=runtime.tenant
         ) == 2
         assert telemetry.counter_value(
-            "serve.replica_batches", replica=1
+            "serve.replica_batches", replica=1, tenant=runtime.tenant
         ) == 2
         assert telemetry.counter_total("serve.requests") == 20
         assert (
-            telemetry.session().metrics.histogram("serve.latency_ms").count
+            telemetry.session()
+            .metrics.histogram("serve.latency_ms", tenant=runtime.tenant)
+            .count
             == 20
         )
 

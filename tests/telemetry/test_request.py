@@ -1,0 +1,159 @@
+"""Tests for request tracing + SLO monitoring (repro.telemetry.request)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.request import (
+    STAGES,
+    SLOMonitor,
+    SLOObjective,
+    TraceContext,
+    make_trace_id,
+    serving_report,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _record_traffic(tenant="mlp", latencies=(1.0, 2.0, 3.0, 10.0)):
+    """Synthesize a served-tenant histogram set: 60/20/20 stage split."""
+    for latency in latencies:
+        telemetry.observe("serve.latency_ms", latency, tenant=tenant)
+        for stage, share in zip(STAGES, (0.6, 0.2, 0.2)):
+            telemetry.observe(
+                "serve.stage_ms",
+                latency * share,
+                stage=stage,
+                tenant=tenant,
+            )
+
+
+class TestTraceContext:
+    def test_trace_id_is_deterministic(self):
+        assert make_trace_id("mlp", 7) == "mlp-00000007"
+        assert make_trace_id("mlp", 7) == make_trace_id("mlp", 7)
+        assert make_trace_id("cnn", 7) != make_trace_id("mlp", 7)
+
+    def test_context_is_frozen(self):
+        ctx = TraceContext("mlp-00000001", "mlp", 1.5)
+        with pytest.raises(AttributeError):
+            ctx.tenant = "other"
+
+
+class TestSLOObjective:
+    def test_budget_is_violating_fraction(self):
+        assert SLOObjective("t", percentile=99.0).budget == pytest.approx(
+            0.01
+        )
+        assert SLOObjective("t", percentile=50.0).budget == pytest.approx(
+            0.5
+        )
+
+
+class TestSLOMonitor:
+    def test_attainment_and_burn(self):
+        telemetry.enable()
+        _record_traffic(latencies=(1.0, 2.0, 3.0, 10.0))
+        monitor = SLOMonitor(
+            [SLOObjective("mlp", percentile=75.0, threshold_ms=5.0)]
+        )
+        (status,) = monitor.status()
+        assert status.tenant == "mlp"
+        assert status.requests == 4
+        # 3 of 4 under 5 ms; p75 = 3.0 → objective met.
+        assert status.attainment == pytest.approx(0.75)
+        assert status.observed_ms == pytest.approx(3.0)
+        assert status.met
+        # Burn: 25% violating over a 25% budget → exactly 1.0.
+        assert status.budget_burn == pytest.approx(1.0)
+
+    def test_missed_objective(self):
+        telemetry.enable()
+        _record_traffic(latencies=(10.0, 10.0, 10.0, 1.0))
+        monitor = SLOMonitor(
+            [SLOObjective("mlp", percentile=99.0, threshold_ms=5.0)]
+        )
+        (status,) = monitor.status()
+        assert not status.met
+        assert status.attainment == pytest.approx(0.25)
+        assert status.budget_burn > 1.0
+
+    def test_no_traffic_burns_no_budget(self):
+        telemetry.enable()
+        monitor = SLOMonitor([SLOObjective("idle")])
+        (status,) = monitor.status()
+        assert status.requests == 0
+        assert status.attainment == 1.0
+        assert status.budget_burn == 0.0
+
+    def test_requires_session(self):
+        with pytest.raises(RuntimeError, match="telemetry session"):
+            SLOMonitor([SLOObjective("t")]).status()
+
+
+class TestServingReport:
+    def test_stage_breakdown_and_coverage(self):
+        telemetry.enable()
+        _record_traffic()
+        report = serving_report()
+        (tenant,) = report.tenants
+        assert tenant.tenant == "mlp"
+        assert tenant.requests == 4
+        assert tenant.stage_mean_ms["batcher"] == pytest.approx(
+            tenant.mean_ms * 0.6
+        )
+        assert sum(tenant.stage_share.values()) == pytest.approx(1.0)
+        assert tenant.coverage == pytest.approx(1.0)
+
+    def test_multiple_tenants_sorted(self):
+        telemetry.enable()
+        _record_traffic(tenant="zeta")
+        _record_traffic(tenant="alpha")
+        report = serving_report()
+        assert [t.tenant for t in report.tenants] == ["alpha", "zeta"]
+
+    def test_json_is_flat_and_serialisable(self):
+        telemetry.enable()
+        _record_traffic()
+        monitor = SLOMonitor(
+            [SLOObjective("mlp", percentile=95.0, threshold_ms=100.0)]
+        )
+        payload = serving_report(slo=monitor).to_json()
+        text = json.dumps(payload)
+        decoded = json.loads(text)
+        row = decoded["tenants"][0]
+        for key in (
+            "tenant",
+            "requests",
+            "mean_ms",
+            "p50_ms",
+            "p99_ms",
+            "batcher_ms",
+            "queue_ms",
+            "replica_ms",
+            "coverage",
+        ):
+            assert key in row
+        assert decoded["slo"][0]["met"] is True
+
+    def test_text_renders_tables(self):
+        telemetry.enable()
+        _record_traffic()
+        monitor = SLOMonitor([SLOObjective("mlp")])
+        text = serving_report(slo=monitor).text()
+        assert "per-stage latency breakdown" in text
+        assert "SLO attainment" in text
+        assert "mlp" in text
+
+    def test_requires_session(self):
+        with pytest.raises(RuntimeError, match="telemetry session"):
+            serving_report()

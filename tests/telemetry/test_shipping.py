@@ -1,0 +1,282 @@
+"""Tests for cross-process telemetry shipping (repro.telemetry.shipping)."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import SAMPLE_CAP, Histogram
+from repro.telemetry.shipping import (
+    ResultEnvelope,
+    TelemetryDelta,
+    capture_delta,
+    merge_delta,
+    run_scoped,
+    ship_call,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _record_some(session=None):
+    with telemetry.span("work.outer", kind="demo"):
+        with telemetry.span("work.inner"):
+            telemetry.count("work.items", 3, kind="a")
+        telemetry.count("work.items", 2, kind="b")
+        telemetry.gauge("work.depth", 7)
+        for v in (1.0, 2.0, 4.0):
+            telemetry.observe("work.ms", v)
+        telemetry.model_event("mvm", 1e-6, track="bank0")
+
+
+class TestSwapSession:
+    def test_swap_returns_previous_and_installs_new(self):
+        live = telemetry.enable()
+        scratch = telemetry.TelemetrySession()
+        assert telemetry.swap_session(scratch) is live
+        assert telemetry.session() is scratch
+        assert telemetry.swap_session(live) is scratch
+        assert telemetry.session() is live
+
+    def test_swap_to_none_disables(self):
+        telemetry.enable()
+        telemetry.swap_session(None)
+        assert not telemetry.enabled()
+
+
+class TestCaptureDelta:
+    def test_roundtrips_through_pickle(self):
+        telemetry.enable()
+        _record_some()
+        delta = capture_delta(telemetry.session())
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone.spans == delta.spans
+        assert clone.counters == delta.counters
+        assert clone.histograms == delta.histograms
+
+    def test_empty_delta(self):
+        assert TelemetryDelta().empty
+        telemetry.enable()
+        _record_some()
+        assert not capture_delta(telemetry.session()).empty
+
+    def test_open_spans_capture_with_zero_duration(self):
+        telemetry.enable()
+        telemetry.span("left.open")
+        delta = capture_delta(telemetry.session())
+        (span,) = delta.spans
+        assert span[1] == span[2]  # start == end
+
+
+class TestMergeDelta:
+    def test_counters_gauges_histograms_aggregate_exactly(self):
+        telemetry.enable()
+        _record_some()
+        delta = capture_delta(telemetry.session())
+        target = telemetry.TelemetrySession()
+        merge_delta(target, delta)
+        merge_delta(target, delta)
+        m = target.metrics
+        assert m.counter_value("work.items", kind="a") == 6
+        assert m.counter_value("work.items", kind="b") == 4
+        assert m.gauge_value("work.depth") == 7
+        hist = m.histogram("work.ms")
+        assert hist.count == 6
+        assert hist.total == 14.0
+        assert hist.minimum == 1.0 and hist.maximum == 4.0
+
+    def test_span_parents_remap_and_track_applies(self):
+        telemetry.enable()
+        _record_some()
+        delta = capture_delta(telemetry.session())
+        target = telemetry.TelemetrySession()
+        target.tracer.add_span("preexisting", 0, 10)
+        merge_delta(target, delta, track="replica:3")
+        spans = {s.name: s for s in target.tracer.spans}
+        inner = spans["work.inner"]
+        assert inner.track == "replica:3"
+        assert target.tracer.spans[inner.parent_index].name == "work.outer"
+
+    def test_anchor_shifts_earliest_span_to_anchor(self):
+        telemetry.enable()
+        _record_some()
+        delta = capture_delta(telemetry.session())
+        target = telemetry.TelemetrySession()
+        merge_delta(target, delta, anchor_ns=50_000)
+        assert min(s.start_ns for s in target.tracer.spans) == 50_000
+
+    def test_merge_is_associative_on_counters(self):
+        # (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): totals are identical either way.
+        # Exactly-representable increments isolate the merge logic from
+        # inherent float non-associativity.
+        deltas = []
+        for i in range(3):
+            scratch = telemetry.TelemetrySession()
+            telemetry.swap_session(scratch)
+            telemetry.count("assoc.n", 0.25 * (i + 1))
+            telemetry.observe("assoc.ms", float(i))
+            telemetry.swap_session(None)
+            deltas.append(capture_delta(scratch))
+        left = telemetry.TelemetrySession()
+        for d in deltas:
+            merge_delta(left, d)
+        mid = telemetry.TelemetrySession()
+        for d in deltas[1:]:
+            merge_delta(mid, d)
+        right = telemetry.TelemetrySession()
+        merge_delta(right, deltas[0])
+        merge_delta(right, capture_delta(mid))
+        assert (
+            left.metrics.counter_value("assoc.n")
+            == right.metrics.counter_value("assoc.n")
+        )
+        assert (
+            left.metrics.histogram("assoc.ms").total
+            == right.metrics.histogram("assoc.ms").total
+        )
+
+
+class TestHistogramMerge:
+    def test_undecimated_merge_is_bit_identical_to_live_observe(self):
+        values = [0.1 * i for i in range(100)]
+        live = Histogram("h")
+        for v in values:
+            live.observe(v)
+        # Ship the same stream in 10-value deltas and merge.
+        merged = Histogram("h")
+        for i in range(0, 100, 10):
+            chunk = values[i : i + 10]
+            part = Histogram("h")
+            for v in chunk:
+                part.observe(v)
+            merged.merge(
+                part.count,
+                part.total,
+                part.minimum,
+                part.maximum,
+                part.samples,
+                part.sample_stride,
+            )
+        assert merged.total == live.total
+        assert merged.count == live.count
+        assert merged.samples == live.samples
+        assert merged.percentile(95.0) == live.percentile(95.0)
+
+    def test_decimated_merge_aggregates_and_recaps(self):
+        big = Histogram("h")
+        for i in range(SAMPLE_CAP + 10):
+            big.observe(float(i))
+        assert big.sample_stride > 1
+        target = Histogram("h")
+        target.merge(
+            big.count,
+            big.total,
+            big.minimum,
+            big.maximum,
+            big.samples,
+            big.sample_stride,
+        )
+        assert target.count == big.count
+        assert target.total == big.total
+        assert target.sample_stride >= big.sample_stride
+        assert len(target.samples) < SAMPLE_CAP
+
+
+class TestRunScoped:
+    def test_result_delta_and_isolation(self):
+        live = telemetry.enable()
+
+        def payload(x):
+            telemetry.count("scoped.calls")
+            return x * 2
+
+        result, delta, execute_ns = run_scoped(payload, 21)
+        assert result == 42
+        assert execute_ns > 0
+        assert [c[0] for c in delta.counters] == ["scoped.calls"]
+        # The live session never saw the scoped work, and is restored.
+        assert telemetry.session() is live
+        assert live.metrics.counter_value("scoped.calls") == 0.0
+
+    def test_restores_session_on_exception(self):
+        live = telemetry.enable()
+
+        def boom():
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            run_scoped(boom)
+        assert telemetry.session() is live
+
+    def test_ship_call_envelopes(self):
+        env = ship_call(lambda a, b: a + b, 1, 2)
+        assert isinstance(env, ResultEnvelope)
+        assert env.value == 3
+        assert env.worker > 0
+        assert env.execute_ns > 0
+        # Nothing recorded → no delta shipped.
+        assert env.telemetry is None
+
+
+class TestThreadSafety:
+    """Satellite: registry/tracer mutation is safe under concurrency."""
+
+    THREADS = 8
+    ITERS = 300
+
+    def test_concurrent_recording_and_merge_lose_nothing(self):
+        session = telemetry.enable()
+        # A delta merged concurrently with live recording.
+        scratch = telemetry.TelemetrySession()
+        telemetry.swap_session(scratch)
+        telemetry.count("smoke.merged", 1.0)
+        telemetry.observe("smoke.ms", 5.0)
+        telemetry.swap_session(session)
+        delta = capture_delta(scratch)
+        barrier = threading.Barrier(self.THREADS + 1)
+        errors = []
+
+        def record(tid):
+            try:
+                barrier.wait()
+                for i in range(self.ITERS):
+                    telemetry.count("smoke.n", 1.0, thread=tid)
+                    telemetry.count("smoke.shared", 1.0)
+                    telemetry.observe("smoke.ms", 1.0)
+                    telemetry.gauge("smoke.depth", i)
+                    with telemetry.span("smoke.span", thread=tid):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=record, args=(t,))
+            for t in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for _ in range(10):
+            merge_delta(session, delta)
+        for t in threads:
+            t.join()
+        assert not errors
+        m = session.metrics
+        total = self.THREADS * self.ITERS
+        assert m.counter_total("smoke.n") == total
+        assert m.counter_value("smoke.shared") == total
+        assert m.counter_value("smoke.merged") == 10.0
+        assert m.histogram("smoke.ms").count == total + 10
+        spans = [
+            s for s in session.tracer.spans if s.name == "smoke.span"
+        ]
+        assert len(spans) == total
+        assert all(s.end_ns is not None for s in spans)
