@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import logging
 import os
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,7 +29,13 @@ from repro.crossbar.engine import CrossbarMVMEngine
 from repro.nn.layers import Conv2D, Dense, Layer, MaxPool2D, MeanPool2D
 from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig, DEFAULT_PRIME_CONFIG
-from repro.perf.kernels import FusedLayerKernel
+from repro.perf.kernels import FusedLayerKernel, fused_enabled
+from repro.perf.plan import (
+    CompiledPlan,
+    PlanCompileError,
+    PlanFallbackWarning,
+    plan_compile_enabled,
+)
 from repro.precision.dynamic_fixed_point import DynamicFixedPoint
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import DegradationSummary, LayerDegradation
@@ -93,6 +100,12 @@ class ProgrammedLayer:
         #: Tiles the executor re-programmed onto spare pairs because
         #: their first engine came up degraded (resilience only).
         self.remapped_tiles = 0
+        #: CompiledPlan cached on the chain's first layer (the
+        #: executor's memo slot; validated via ``CompiledPlan.matches``
+        #: before reuse, recompiled when stale).
+        self.compiled_plan = None
+        #: One warning per programmed chain when compilation fails.
+        self.plan_warned = False
 
     @classmethod
     def coerce(cls, entry) -> "ProgrammedLayer":
@@ -477,7 +490,11 @@ class PrimeExecutor:
         e.g. engines living inside real bank mats.  Returns the (float)
         output logits as computed by the quantised analog pipeline.
 
-        Each mapped layer evaluates through its fused layer kernel
+        Once calibration is frozen the whole chain executes through a
+        :class:`~repro.perf.plan.CompiledPlan` — one flat precompiled
+        schedule with no per-layer Python bookkeeping
+        (``PRIME_PLAN_COMPILE=0`` restores the per-layer interpreter).
+        Each interpreted layer evaluates through its fused layer kernel
         (``PRIME_FUSED=0`` restores the per-engine tile walk), and the
         batch streams in chunks sized so the widest layer's activations
         stay under ``chunk_bytes`` (default ``PRIME_FUNC_CHUNK_BYTES``
@@ -506,7 +523,7 @@ class PrimeExecutor:
             self._surface_degradation(plan, layers)
             chunk = self._chunk_samples(plan, batch, chunk_bytes)
             if chunk >= batch:
-                out = self._forward_chunk(network, layers, x, pin, with_noise)
+                out = self._forward(network, layers, x, pin, with_noise)
             else:
                 # The first chunk must contain the calibration prefix,
                 # or chunked and unchunked runs would freeze different
@@ -517,7 +534,7 @@ class PrimeExecutor:
                 while start < batch:
                     size = first if start == 0 else chunk
                     pieces.append(
-                        self._forward_chunk(
+                        self._forward(
                             network,
                             layers,
                             x[start : start + size],
@@ -557,6 +574,77 @@ class PrimeExecutor:
                 summary.masked_columns,
                 workload=plan.workload,
             )
+
+    def _forward(
+        self,
+        network: Sequential,
+        layers: list[ProgrammedLayer],
+        act: np.ndarray,
+        pin: int,
+        with_noise: bool,
+    ) -> np.ndarray:
+        """One chunk, through the compiled plan when one is available.
+
+        The first chunk of a freshly programmed network runs through
+        the interpreter (calibration is not frozen yet); every chunk
+        after that executes the compiled schedule.  Both paths are
+        bit-identical, so chunked == unchunked holds regardless of
+        which chunk compiled the plan.
+        """
+        compiled = self._compiled_plan(network, layers, pin)
+        if compiled is not None:
+            return compiled.execute(act, with_noise)
+        return self._forward_chunk(network, layers, act, pin, with_noise)
+
+    def _compiled_plan(
+        self,
+        network: Sequential,
+        layers: list[ProgrammedLayer],
+        pin: int,
+    ) -> CompiledPlan | None:
+        """The cached CompiledPlan for this programmed chain, if any.
+
+        The plan memoises on the chain's first ProgrammedLayer and is
+        validated against the live programmed state on every chunk —
+        recalibration, reprogramming, or kernel invalidation all break
+        :meth:`CompiledPlan.matches` and force a recompile.  Returns
+        ``None`` (interpreter fallback, counted as
+        ``perf.plan.fallback``) when compilation is disabled, the chain
+        is not yet calibrated, or lowering fails.
+        """
+        if not layers or not plan_compile_enabled():
+            return None
+        # PRIME_FUSED=0 forces the per-engine tile walk; the compiled
+        # plan is the fused tier's successor, so it stands down too.
+        if not fused_enabled():
+            return None
+        if any(
+            entry.in_fmt is None or entry.output_shift is None
+            for entry in layers
+        ):
+            # First pass after programming: let the interpreter freeze
+            # calibration, compile from the next chunk on.
+            return None
+        host = layers[0]
+        compiled = host.compiled_plan
+        if compiled is not None and compiled.matches(network, layers, pin):
+            return compiled
+        try:
+            compiled = CompiledPlan.compile(network, layers, pin)
+        except PlanCompileError as exc:
+            if not host.plan_warned:
+                host.plan_warned = True
+                logger.warning("plan compilation failed: %s", exc)
+                warnings.warn(
+                    f"plan compilation failed ({exc}); falling back to "
+                    "the per-layer interpreter",
+                    PlanFallbackWarning,
+                    stacklevel=2,
+                )
+            telemetry.count("perf.plan.fallback", reason="compile_error")
+            return None
+        host.compiled_plan = compiled
+        return compiled
 
     def _forward_chunk(
         self,

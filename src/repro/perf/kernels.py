@@ -172,6 +172,20 @@ class FusedLayerKernel:
         self._g_pos = None
         self._g_neg = None
 
+    def weight_stack(self) -> np.ndarray:
+        """The cached signed weight-half stack (see
+        :meth:`_weight_stack`).  Public entry point for the plan
+        compiler, which slices its trimmed/packed stacks out of the
+        same array and uses its identity to detect reprogramming."""
+        return self._weight_stack()
+
+    def charge(self, batch: int, output_shift: int) -> None:
+        """Charge hardware firing counters for ``batch`` vectors
+        evaluated outside :meth:`mvm_batch` (see :meth:`_charge`).
+        Public entry point for the plan compiler's inline path, keeping
+        engine counters and ``mvm.*`` telemetry path-invariant."""
+        self._charge(batch, output_shift)
+
     # -- noise stream -------------------------------------------------
 
     @property

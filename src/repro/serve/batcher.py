@@ -77,7 +77,27 @@ class ServeRequest:
 
 
 class MicroBatcher:
-    """Coalesces queued single-sample requests into micro-batches."""
+    """Coalesces queued single-sample requests into micro-batches.
+
+    **Choosing ``max_batch``.**  The runtime derives its default from
+    the executor's streaming chunk model (``PRIME_FUNC_CHUNK_BYTES``),
+    capped at ``ServeConfig.max_batch_cap`` (256).  Three forces meet
+    there:
+
+    * *kernel width* — one micro-batch should evaluate in a single
+      fused (or plan-compiled) pass, so it must fit the executor's
+      per-chunk working-set budget;
+    * *latency* — past a few hundred samples the crossbar matmul is
+      fully saturated and wider batches only add queueing delay;
+    * *dispatch* — ``max_batch`` sizes the per-replica shared-memory
+      slabs (``max_batch × widest-layer × 8 bytes`` per slot), so the
+      cap also bounds the coordinator's pinned memory.  The transfer
+      micro-bench (``benchmarks/test_serve_throughput.py``) shows the
+      slab path cheaper than pickled dispatch across batch sizes
+      (clearest in the mid range, where pickling pays buffer
+      allocation churn that mapped slab pages avoid), so wider batches
+      amortise per-dispatch overhead without a transport penalty.
+    """
 
     def __init__(
         self,

@@ -14,6 +14,17 @@ capacity:
   ``mode="serial"``): one programmed copy served inline.  Same
   numbers, no overlap.
 
+Process mode moves batch payloads through **shared-memory slabs**: the
+coordinator allocates one ``multiprocessing.shared_memory`` slab per
+replica, sized from the micro-batcher's ``max_batch`` and the widest
+mapped layer, and batch inputs/results travel as
+:class:`ShmRef` ``(slab, offset, shape, dtype)`` descriptors instead
+of pickled ndarrays — only the small ResultEnvelope metadata
+(telemetry deltas, timings) still pickles.  ``PRIME_SHM=0`` disables
+the slabs; slab exhaustion or oversized payloads fall back to pickling
+that batch (counted as ``serve.dispatch.shm_fallback``), so shared
+memory is purely an optimisation with identical results either way.
+
 All replicas program from one :class:`WorkerSpec` (same seed), so they
 hold bit-identical state and results never depend on which replica a
 batch lands on.  With noise enabled, every micro-batch additionally
@@ -34,6 +45,8 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker
+from multiprocessing.shared_memory import SharedMemory
 
 import numpy as np
 
@@ -50,6 +63,8 @@ from repro.telemetry.shipping import ResultEnvelope, run_scoped
 
 __all__ = [
     "WorkerSpec",
+    "ShmRef",
+    "shm_enabled",
     "batch_noise_seed",
     "program_state",
     "run_programmed",
@@ -63,6 +78,138 @@ logger = logging.getLogger("repro.serve")
 #: Seconds to wait for the first pool worker to program its replica
 #: before declaring process mode unavailable.
 _POOL_PROBE_TIMEOUT_S = 300.0
+#: Shared-memory slots per replica slab — the inflight micro-batch
+#: depth one replica's slab can hold before dispatch falls back to
+#: pickling (the runtime keeps at most a handful of batches inflight
+#: per replica, so four slots absorb normal pipelining).
+_SLAB_SLOTS = 4
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory dispatch is enabled (``PRIME_SHM``).
+
+    ``"0"`` disables; unset/``"1"`` enable.  Any other value logs a
+    warning and keeps the default rather than raising at deploy time,
+    mirroring the other ``PRIME_*`` knobs.
+    """
+    env = os.environ.get("PRIME_SHM", "").strip()
+    if env in ("", "1"):
+        return True
+    if env == "0":
+        return False
+    logger.warning(
+        "PRIME_SHM must be 0 or 1, got %r; keeping the default "
+        "(enabled)",
+        env,
+    )
+    telemetry.count("perf.env.invalid", knob="PRIME_SHM")
+    return True
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Descriptor of an ndarray resident in a shared-memory slab.
+
+    This is all that crosses the process boundary for a batch payload;
+    both sides rebuild the array as a view over the mapped slab.
+    """
+
+    name: str
+    offset: int
+    shape: tuple
+    dtype: str
+
+
+@dataclass(frozen=True)
+class _ResultSlot:
+    """Where a worker should place a batch's result array."""
+
+    name: str
+    offset: int
+    capacity: int
+
+
+class _SlabPool:
+    """Coordinator-side shared-memory slabs, one per replica.
+
+    Each slab holds :data:`_SLAB_SLOTS` slots of ``in_bytes`` (batch
+    input) plus ``out_bytes`` (result) — a slot is held from dispatch
+    until the batch's future resolves, so slab memory is bounded by the
+    inflight depth, not the request count.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        slots: int,
+        in_bytes: int,
+        out_bytes: int,
+    ) -> None:
+        self.in_bytes = in_bytes
+        self.out_bytes = out_bytes
+        self.slots = slots
+        self.slot_bytes = in_bytes + out_bytes
+        self.slabs = [
+            SharedMemory(create=True, size=slots * self.slot_bytes)
+            for _ in range(replicas)
+        ]
+        self._by_name = {shm.name: shm for shm in self.slabs}
+        self._free = [list(range(slots)) for _ in range(replicas)]
+        self._next = 0
+
+    def acquire(self) -> tuple[int, int] | None:
+        """A free ``(slab, slot)``, rotating across replica slabs;
+        ``None`` when every slot is inflight."""
+        n = len(self.slabs)
+        start = self._next
+        self._next = (start + 1) % n
+        for k in range(n):
+            i = (start + k) % n
+            if self._free[i]:
+                return i, self._free[i].pop()
+        return None
+
+    def release(self, slab: int, slot: int) -> None:
+        self._free[slab].append(slot)
+
+    def stage(
+        self, key: tuple[int, int], batch: np.ndarray
+    ) -> tuple[ShmRef, _ResultSlot]:
+        """Copy ``batch`` into the slot's input region.
+
+        Returns the input descriptor plus the result region the worker
+        writes back into — the only per-batch copies left are this one
+        and the coordinator-side result materialisation.
+        """
+        slab, slot = key
+        shm = self.slabs[slab]
+        base = slot * self.slot_bytes
+        view = np.ndarray(
+            batch.shape, dtype=batch.dtype, buffer=shm.buf, offset=base
+        )
+        view[...] = batch
+        return (
+            ShmRef(shm.name, base, batch.shape, batch.dtype.str),
+            _ResultSlot(shm.name, base + self.in_bytes, self.out_bytes),
+        )
+
+    def view(self, ref: ShmRef) -> np.ndarray:
+        """The coordinator-side array view a worker's ref describes."""
+        shm = self._by_name[ref.name]
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=shm.buf,
+            offset=ref.offset,
+        )
+
+    def close(self) -> None:
+        for shm in self.slabs:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
 
 
 @dataclass
@@ -173,6 +320,23 @@ def run_programmed(
 
 #: Per-process worker state: (spec, executor, programmed) after init.
 _WORKER_STATE: tuple | None = None
+#: Slab attachments cached per worker process (name -> SharedMemory);
+#: a replica re-attaches each slab at most once for its lifetime.
+_WORKER_SLABS: dict[str, SharedMemory] = {}
+
+
+def _worker_view(ref: ShmRef) -> np.ndarray:
+    """The worker-side array view a coordinator ref describes."""
+    shm = _WORKER_SLABS.get(ref.name)
+    if shm is None:
+        shm = SharedMemory(name=ref.name)
+        _WORKER_SLABS[ref.name] = shm
+    return np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=shm.buf,
+        offset=ref.offset,
+    )
 #: Telemetry recorded while this worker initialised (programming +
 #: calibration), held until the first served batch ships it to the
 #: coordinator.  Kept separate from per-batch deltas so execution
@@ -231,7 +395,14 @@ def _pool_init(payload: bytes) -> None:
 
 def _pool_run(args: tuple) -> ResultEnvelope:
     global _WORKER_INIT_DELTA
-    batch, noise_seed, ship = args
+    batch, noise_seed, ship, result_slot = (
+        args if len(args) == 4 else (*args, None)
+    )
+    if isinstance(batch, ShmRef):
+        # Zero-copy input: execute straight off the slab view (the
+        # coordinator holds the slot until this batch's future
+        # resolves, so the region cannot be rewritten underneath us).
+        batch = _worker_view(batch)
     spec, executor, programmed = _WORKER_STATE
     envelope = _serve_batch(
         spec,
@@ -244,6 +415,25 @@ def _pool_run(args: tuple) -> ResultEnvelope:
     )
     if ship:
         _WORKER_INIT_DELTA = None
+    result = envelope.value
+    if (
+        result_slot is not None
+        and isinstance(result, np.ndarray)
+        and result.nbytes <= result_slot.capacity
+    ):
+        out = np.ndarray(
+            result.shape,
+            dtype=result.dtype,
+            buffer=_WORKER_SLABS[result_slot.name].buf,
+            offset=result_slot.offset,
+        )
+        out[...] = result
+        envelope.value = ShmRef(
+            result_slot.name,
+            result_slot.offset,
+            result.shape,
+            result.dtype.str,
+        )
     return envelope
 
 
@@ -262,6 +452,10 @@ class SerialDispatcher:
     """
 
     mode = "serial"
+
+    #: Serial dispatch resolves each future inline, so there is never
+    #: more than one batch in flight and no limit to enforce.
+    inflight_limit: int | None = None
 
     def __init__(self, spec: WorkerSpec, replicas: int = 1) -> None:
         self.spec = spec
@@ -307,16 +501,79 @@ class SerialDispatcher:
         self._init_delta = None
 
 
+class _ShmFuture:
+    """Future adapter that materialises a slab-resident result.
+
+    Resolves the pool future, copies the result out of the shared
+    slot (workers only hold the slot until then), and releases the
+    slot exactly once.  A timeout leaves the slot held — the worker
+    may still be writing into it.
+    """
+
+    def __init__(self, inner: Future, slabs: _SlabPool, key) -> None:
+        self._inner = inner
+        self._slabs = slabs
+        self._key = key
+        self._envelope = None
+
+    def result(self, timeout: float | None = None) -> ResultEnvelope:
+        if self._key is None:
+            return self._envelope
+        try:
+            envelope = self._inner.result(timeout)
+        except (TimeoutError, _FuturesTimeout):
+            raise
+        except BaseException:
+            self._slabs.release(*self._key)
+            self._key = None
+            raise
+        value = envelope.value
+        if isinstance(value, ShmRef):
+            envelope.value = self._slabs.view(value).copy()
+        else:
+            # Worker-side fallback: the result outgrew the slot (e.g.
+            # a network reprogrammed to a wider head) and was pickled.
+            telemetry.count("serve.dispatch.shm_fallback", reason="result")
+        self._slabs.release(*self._key)
+        self._key = None
+        self._envelope = envelope
+        return envelope
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+
 class ProcessDispatcher:
-    """Persistent pool with one programmed worker per replica."""
+    """Persistent pool with one programmed worker per replica.
+
+    ``slab_shape=(max_batch, in_elems, out_elems)`` enables the
+    shared-memory payload path: per-replica slabs sized for
+    ``max_batch`` samples of the widest layer.  Without it (or with
+    ``PRIME_SHM=0``) every batch pickles through the pool pipe.
+    """
 
     mode = "process"
 
-    def __init__(self, spec: WorkerSpec, replicas: int) -> None:
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        replicas: int,
+        slab_shape: tuple[int, int, int] | None = None,
+    ) -> None:
         if replicas < 1:
             raise ConfigurationError("replicas must be >= 1")
         self.spec = spec
         self.replicas = replicas
+        # Start the multiprocessing resource tracker before the pool
+        # forks so every worker inherits it: attaching a slab then
+        # registers into the same tracker (an idempotent set add, and
+        # the coordinator's unlink clears it once) instead of spawning
+        # a per-worker tracker that would try to clean the slab a
+        # second time at worker exit.
+        try:
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker is best-effort
+            pass
         payload = pickle.dumps(spec)
         self._pool = ProcessPoolExecutor(
             max_workers=replicas,
@@ -331,6 +588,46 @@ class ProcessDispatcher:
             timeout=_POOL_PROBE_TIMEOUT_S
         ):
             raise BrokenProcessPool("pool worker failed to initialise")
+        self._slabs: _SlabPool | None = None
+        if slab_shape is not None and shm_enabled():
+            max_batch, in_elems, out_elems = slab_shape
+            try:
+                self._slabs = _SlabPool(
+                    replicas,
+                    _SLAB_SLOTS,
+                    max_batch * in_elems * 8,
+                    max_batch * out_elems * 8,
+                )
+            except OSError as exc:
+                logger.warning(
+                    "shared-memory slabs unavailable (%s: %s); "
+                    "dispatching pickled batches",
+                    type(exc).__name__,
+                    exc,
+                )
+                warnings.warn(
+                    "shared-memory slabs unavailable "
+                    f"({type(exc).__name__}); dispatching pickled "
+                    "batches",
+                    ParallelFallbackWarning,
+                    stacklevel=2,
+                )
+                telemetry.count(
+                    "serve.dispatch.shm_fallback", reason="unavailable"
+                )
+
+    @property
+    def inflight_limit(self) -> int | None:
+        """Batches the runtime may leave unresolved before collecting.
+
+        With slabs active this is the total slot count — dispatching
+        past it would only downgrade batches to pickling, so the
+        runtime applies backpressure instead.  ``None`` (pickle mode)
+        leaves the inflight depth unbounded.
+        """
+        if self._slabs is None:
+            return None
+        return self._slabs.slots * self.replicas
 
     def dispatch(
         self,
@@ -338,14 +635,42 @@ class ProcessDispatcher:
         noise_seed: int | None = None,
         ship: bool = False,
     ) -> Future:
-        return self._pool.submit(_pool_run, (batch, noise_seed, ship))
+        slabs = self._slabs
+        if slabs is not None:
+            if (
+                batch.nbytes > slabs.in_bytes
+                or not batch.flags.c_contiguous
+            ):
+                telemetry.count(
+                    "serve.dispatch.shm_fallback", reason="size"
+                )
+            else:
+                key = slabs.acquire()
+                if key is None:
+                    telemetry.count(
+                        "serve.dispatch.shm_fallback", reason="slots"
+                    )
+                else:
+                    in_ref, result_slot = slabs.stage(key, batch)
+                    inner = self._pool.submit(
+                        _pool_run, (in_ref, noise_seed, ship, result_slot)
+                    )
+                    telemetry.count("serve.dispatch.shm_batches")
+                    return _ShmFuture(inner, slabs, key)
+        return self._pool.submit(_pool_run, (batch, noise_seed, ship, None))
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._slabs is not None:
+            self._slabs.close()
+            self._slabs = None
 
 
 def make_dispatcher(
-    spec: WorkerSpec, replicas: int, mode: str = "auto"
+    spec: WorkerSpec,
+    replicas: int,
+    mode: str = "auto",
+    slab_shape: tuple[int, int, int] | None = None,
 ):
     """Build the replica dispatcher for a deployment.
 
@@ -354,7 +679,10 @@ def make_dispatcher(
     :class:`~repro.perf.parallel.ParallelFallbackWarning` and a
     ``serve.dispatch.fallback`` counter) when no pool can be created,
     while ``"process"`` propagates the failure.  ``mode="serial"``
-    skips the pool entirely.
+    skips the pool entirely.  ``slab_shape`` (max_batch, input elems,
+    output elems — the runtime derives it from the micro-batcher and
+    the plan's widest layer) sizes the shared-memory payload slabs of
+    process mode.
     """
     if mode not in ("auto", "process", "serial"):
         raise ConfigurationError(
@@ -363,7 +691,7 @@ def make_dispatcher(
     if mode == "serial" or (mode == "auto" and replicas <= 1):
         return SerialDispatcher(spec, replicas)
     try:
-        return ProcessDispatcher(spec, replicas)
+        return ProcessDispatcher(spec, replicas, slab_shape=slab_shape)
     except (
         OSError,
         AttributeError,

@@ -122,10 +122,21 @@ class ServingRuntime:
                 calibration=calibration,
                 ship_telemetry=telemetry.enabled(),
             )
+            # Shared-memory slabs are sized for a full micro-batch of
+            # the widest mapped layer, so any batch the batcher can
+            # release (and any layer's result) fits a slot.
+            widest = max(
+                (
+                    max(m.traffic.input_elems, m.traffic.output_elems)
+                    for m in self.plan.layers
+                ),
+                default=1,
+            )
             self.dispatcher = make_dispatcher(
                 self.spec,
                 replicas=self.deployment.replicas,
                 mode=self.serve_config.mode,
+                slab_shape=(max_batch, widest, widest),
             )
         #: Micro-batches dispatched so far (also the per-batch noise
         #: stream index).
@@ -133,6 +144,7 @@ class ServingRuntime:
         #: (future, requests, t_dispatch) triples awaiting collection,
         #: in dispatch order.
         self._inflight: list[tuple] = []
+        self._drained = 0
         #: Worker pid → stable replica track index, in first-seen
         #: order, for labelling merged worker telemetry.
         self._worker_tracks: dict[int, int] = {}
@@ -203,7 +215,9 @@ class ServingRuntime:
         return np.stack([r.result for r in requests])
 
     def _dispatch(self, batch: list[ServeRequest]) -> None:
-        stacked = np.stack([r.x for r in batch]).astype(np.float64)
+        stacked = np.stack([r.x for r in batch])
+        if stacked.dtype != np.float64:
+            stacked = stacked.astype(np.float64)
         noise_seed = None
         if self.spec.with_noise:
             noise_seed = batch_noise_seed(
@@ -226,24 +240,38 @@ class ServingRuntime:
         t_dispatch = self.batcher.clock()
         for request in batch:
             request.t_dispatched = t_dispatch
+        limit = self.dispatcher.inflight_limit
+        if limit is not None:
+            # Backpressure: past the dispatcher's inflight depth (the
+            # shared-memory slot count) further dispatches would only
+            # downgrade to pickled payloads, so resolve the oldest
+            # batch first — its replica has almost certainly finished
+            # it by the time the queue is this deep.
+            while len(self._inflight) >= limit:
+                self._drained += self._resolve(*self._inflight.pop(0))
         future = self.dispatcher.dispatch(stacked, noise_seed, ship=ship)
         self._inflight.append((future, batch, t_dispatch))
 
     def _collect(self) -> int:
-        completed = 0
-        clock = self.batcher.clock
-        for future, batch, t_dispatch in self._inflight:
-            envelope = future.result()
-            now = clock()
-            if telemetry.enabled():
-                self._merge_worker_telemetry(envelope, t_dispatch)
-            for request, row in zip(batch, envelope.value):
-                request.result = row
-                request.t_done = now
-                completed += 1
-                if telemetry.enabled():
-                    self._record_request(request, envelope.execute_ns)
+        completed = self._drained
+        self._drained = 0
+        for entry in self._inflight:
+            completed += self._resolve(*entry)
         self._inflight.clear()
+        return completed
+
+    def _resolve(self, future, batch, t_dispatch: float) -> int:
+        completed = 0
+        envelope = future.result()
+        now = self.batcher.clock()
+        if telemetry.enabled():
+            self._merge_worker_telemetry(envelope, t_dispatch)
+        for request, row in zip(batch, envelope.value):
+            request.result = row
+            request.t_done = now
+            completed += 1
+            if telemetry.enabled():
+                self._record_request(request, envelope.execute_ns)
         return completed
 
     def _merge_worker_telemetry(self, envelope, t_dispatch: float) -> None:

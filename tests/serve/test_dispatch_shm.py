@@ -1,0 +1,277 @@
+"""Shared-memory payload dispatch: bit-identity, fallback, lifecycle.
+
+The contract under test: process-mode serving over shared-memory slabs
+is *bit-identical* to pickled dispatch (``PRIME_SHM=0``) and to the
+serial oracle — including after resilience tile remaps — and every
+degraded situation (slab exhaustion, oversized payloads, invalid knob
+values) falls back to pickling that batch with a
+``serve.dispatch.shm_fallback`` counter instead of failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.nn.topology import parse_topology
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+from repro.params.reram import PT_TIO2_DEVICE
+from repro.resilience import ResiliencePolicy
+from repro.serve import ServeConfig, ServingRuntime, program_state
+from repro.serve.dispatcher import (
+    ProcessDispatcher,
+    ShmRef,
+    _SlabPool,
+    shm_enabled,
+)
+
+pytestmark = pytest.mark.serve
+
+NOISE_FREE = dataclasses.replace(
+    PT_TIO2_DEVICE, programming_sigma=0.0, read_noise_sigma=0.0
+)
+SMALL_ORG = MemoryOrganization(
+    subarrays_per_bank=8,
+    mats_per_subarray=16,
+    mat_rows=32,
+    mat_cols=32,
+)
+TOPOLOGY = parse_topology("serve-tiny", "24-20-6")
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _small_config(
+    policy: ResiliencePolicy | None = None,
+    device=NOISE_FREE,
+    **xbar,
+) -> PrimeConfig:
+    kw = dict(rows=32, cols=32, sense_amps=8, device=device)
+    kw.update(xbar)
+    return PrimeConfig(
+        crossbar=CrossbarParams(**kw),
+        organization=SMALL_ORG,
+        resilience=policy or ResiliencePolicy(),
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    return TOPOLOGY.build(rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return np.random.default_rng(11).standard_normal((20, 24))
+
+
+def _runtime(network, samples, **kw):
+    serve_kw = dict(mode="process", max_batch=5)
+    serve_kw.update(kw.pop("serve", {}))
+    defaults = dict(
+        config=_small_config(),
+        serve_config=ServeConfig(**serve_kw),
+        calibration=samples,
+        max_replicas=2,
+    )
+    defaults.update(kw)
+    return ServingRuntime(network, TOPOLOGY, **defaults)
+
+
+class TestShmKnob:
+    def test_default_enabled(self):
+        assert shm_enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("PRIME_SHM", "0")
+        assert not shm_enabled()
+
+    def test_invalid_value_warns_and_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("PRIME_SHM", "maybe")
+        session = telemetry.enable(fresh=True)
+        assert shm_enabled()
+        assert (
+            session.metrics.counter_value(
+                "perf.env.invalid", knob="PRIME_SHM"
+            )
+            == 1
+        )
+
+
+class TestShmBitIdentity:
+    def test_shm_vs_pickle_vs_serial(
+        self, network, samples, monkeypatch
+    ):
+        """All three transports agree bit-for-bit; the shm run really
+        used the slabs."""
+        telemetry.enable(fresh=True)
+        with _runtime(network, samples) as runtime:
+            shm_out = runtime.serve(samples)
+            reference = runtime.reference(samples)
+            assert runtime.dispatcher._slabs is not None
+        assert telemetry.counter_total("serve.dispatch.shm_batches") >= 4
+        assert telemetry.counter_total("serve.dispatch.shm_fallback") == 0
+        telemetry.disable()
+
+        monkeypatch.setenv("PRIME_SHM", "0")
+        telemetry.enable(fresh=True)
+        with _runtime(network, samples) as runtime:
+            pickled_out = runtime.serve(samples)
+            assert runtime.dispatcher._slabs is None
+        assert telemetry.counter_total("serve.dispatch.shm_batches") == 0
+        monkeypatch.delenv("PRIME_SHM")
+
+        with _runtime(
+            network, samples, serve=dict(mode="serial")
+        ) as runtime:
+            serial_out = runtime.serve(samples)
+
+        np.testing.assert_array_equal(shm_out, reference)
+        np.testing.assert_array_equal(shm_out, pickled_out)
+        np.testing.assert_array_equal(shm_out, serial_out)
+
+    def test_shm_after_tile_remap_matches_reference(
+        self, network, samples
+    ):
+        """Faulty arrays force tile remaps during programming; the
+        slab transport must not disturb the per-engine fallback the
+        remapped tiles take."""
+        policy = ResiliencePolicy(
+            verify_writes=True,
+            spare_columns=0,
+            spare_pairs_per_bank=3,
+            column_error_limit=100.0,
+            mask_error_limit=100.0,
+        )
+        config = _small_config(
+            policy, fault_rate_hrs=0.05, fault_rate_lrs=0.05
+        )
+        telemetry.enable(fresh=True)
+        with _runtime(
+            network, samples, config=config, serve=dict(seed=3)
+        ) as runtime:
+            executor, _ = program_state(runtime.spec)
+            summary = executor.last_degradation
+            assert summary is not None and summary.remapped_tiles >= 1
+            assert runtime.dispatcher._slabs is not None
+            served = runtime.serve(samples)
+            reference = runtime.reference(samples)
+        assert telemetry.counter_total("serve.dispatch.shm_batches") >= 1
+        np.testing.assert_array_equal(served, reference)
+
+
+class TestSlabPool:
+    def test_stage_view_roundtrip(self):
+        pool = _SlabPool(replicas=1, slots=2, in_bytes=800, out_bytes=800)
+        try:
+            batch = np.arange(100, dtype=np.float64).reshape(4, 25)
+            key = pool.acquire()
+            ref, slot = pool.stage(key, batch)
+            assert isinstance(ref, ShmRef)
+            np.testing.assert_array_equal(pool.view(ref), batch)
+            pool.release(*key)
+        finally:
+            pool.close()
+
+    def test_exhaustion_returns_none_then_recycles(self):
+        pool = _SlabPool(replicas=2, slots=2, in_bytes=80, out_bytes=80)
+        try:
+            keys = [pool.acquire() for _ in range(4)]
+            assert all(k is not None for k in keys)
+            assert pool.acquire() is None
+            pool.release(*keys[0])
+            assert pool.acquire() is not None
+        finally:
+            pool.close()
+
+
+class TestDispatchFallbacks:
+    @pytest.fixture(scope="class")
+    def shm_runtime(self, network, samples):
+        telemetry.disable()
+        with _runtime(network, samples) as runtime:
+            if runtime.dispatcher._slabs is None:
+                pytest.skip("no shared-memory support here")
+            yield runtime
+
+    def _dispatcher(self, shm_runtime) -> ProcessDispatcher:
+        d = shm_runtime.dispatcher
+        assert isinstance(d, ProcessDispatcher)
+        return d
+
+    def test_slab_exhaustion_falls_back_to_pickle(
+        self, shm_runtime, samples
+    ):
+        """More unresolved dispatches than slots: the excess pickles
+        (counted), every result still bit-identical."""
+        d = self._dispatcher(shm_runtime)
+        limit = d.inflight_limit
+        assert limit is not None
+        session = telemetry.enable(fresh=True)
+        batch = np.ascontiguousarray(samples[:2])
+        futures = [d.dispatch(batch, None) for _ in range(limit + 3)]
+        assert (
+            session.metrics.counter_value(
+                "serve.dispatch.shm_fallback", reason="slots"
+            )
+            == 3
+        )
+        values = [f.result(timeout=300.0).value for f in futures]
+        for value in values[1:]:
+            np.testing.assert_array_equal(value, values[0])
+        # Slots recycled: the next dispatch goes through shm again.
+        before = session.metrics.counter_total(
+            "serve.dispatch.shm_batches"
+        )
+        d.dispatch(batch, None).result(timeout=300.0)
+        assert (
+            session.metrics.counter_total("serve.dispatch.shm_batches")
+            == before + 1
+        )
+
+    def test_oversized_batch_falls_back_to_pickle(
+        self, shm_runtime, samples
+    ):
+        d = self._dispatcher(shm_runtime)
+        rows = d._slabs.in_bytes // (24 * 8) + 1
+        big = np.ascontiguousarray(
+            np.repeat(samples[:1], rows, axis=0)
+        )
+        assert big.nbytes > d._slabs.in_bytes
+        session = telemetry.enable(fresh=True)
+        envelope = d.dispatch(big, None).result(timeout=300.0)
+        assert envelope.value.shape[0] == rows
+        assert (
+            session.metrics.counter_value(
+                "serve.dispatch.shm_fallback", reason="size"
+            )
+            == 1
+        )
+
+    def test_runtime_backpressure_keeps_batches_on_shm(
+        self, network, samples
+    ):
+        """A bulk serve() of many more micro-batches than slots must
+        not overflow into pickling — the runtime resolves oldest
+        futures first."""
+        telemetry.enable(fresh=True)
+        with _runtime(
+            network, samples, serve=dict(mode="process", max_batch=2)
+        ) as runtime:
+            limit = runtime.dispatcher.inflight_limit
+            out = runtime.serve(samples)  # 10 micro-batches of 2
+            reference = runtime.reference(samples)
+        assert limit is not None and limit < 10
+        assert telemetry.counter_total("serve.dispatch.shm_batches") == 10
+        assert telemetry.counter_total("serve.dispatch.shm_fallback") == 0
+        np.testing.assert_array_equal(out, reference)

@@ -264,7 +264,7 @@ class TestDispatchModes:
     ):
         telemetry.enable()
 
-        def explode(spec, replicas):
+        def explode(spec, replicas, **kw):
             raise OSError("no fork for you")
 
         monkeypatch.setattr(
@@ -287,7 +287,7 @@ class TestDispatchModes:
     def test_process_mode_propagates_pool_failure(
         self, network, samples, monkeypatch
     ):
-        def explode(spec, replicas):
+        def explode(spec, replicas, **kw):
             raise OSError("no fork for you")
 
         monkeypatch.setattr(

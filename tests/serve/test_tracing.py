@@ -86,9 +86,13 @@ def _runtime(network, samples, mode, max_replicas=2, **serve_kw):
 
 
 def _counter_totals(session) -> dict:
+    # ``serve.dispatch.shm_*`` counts the payload transport (shared
+    # memory vs pickling), which only exists in process mode; every
+    # model/hardware counter must still match bit-identically.
     return {
         (c.name, tuple(sorted(c.labels.items()))): c.value
         for c in session.metrics.counters()
+        if not c.name.startswith("serve.dispatch.shm_")
     }
 
 
