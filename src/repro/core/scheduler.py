@@ -143,6 +143,72 @@ class BankScheduler:
         self.deployments[topology.name] = deployment
         return deployment
 
+    def grow(self, name: str, replicas: int = 1) -> Deployment:
+        """Grant ``replicas`` more replica bank groups to a deployment.
+
+        The incremental path behind reactive autoscaling: the extra
+        groups are carved from the free pool at the deployment's
+        existing per-replica footprint — no recompile, no redeploy, the
+        resident replicas keep serving.  Raises :class:`MappingError`
+        when the free pool cannot host the additional groups (the free
+        list is left untouched).
+        """
+        if replicas < 1:
+            raise MappingError("grow needs replicas >= 1")
+        deployment = self._get(name)
+        footprint = len(deployment.replica_banks[0])
+        need = replicas * footprint
+        if need > len(self.free_banks):
+            raise MappingError(
+                f"{name} grow x{replicas} needs {need} banks, "
+                f"only {len(self.free_banks)} free"
+            )
+        granted = self.free_banks[:need]
+        del self.free_banks[:need]
+        deployment.replica_banks.extend(
+            granted[r * footprint : (r + 1) * footprint]
+            for r in range(replicas)
+        )
+        deployment.plan.bank_replicas = deployment.replicas
+        if telemetry.enabled():
+            telemetry.count(
+                "scheduler.grows", replicas, workload=name
+            )
+            telemetry.count("scheduler.banks_granted", need)
+            telemetry.gauge(
+                "scheduler.bank_utilization", self.utilization()
+            )
+        return deployment
+
+    def shrink(self, name: str, replicas: int = 1) -> Deployment:
+        """Return ``replicas`` replica bank groups to the free pool.
+
+        The last-granted groups are released first; a deployment always
+        keeps at least one replica (shrinking to zero is ``release``).
+        """
+        if replicas < 1:
+            raise MappingError("shrink needs replicas >= 1")
+        deployment = self._get(name)
+        if replicas >= deployment.replicas:
+            raise MappingError(
+                f"{name} has {deployment.replicas} replica(s); "
+                f"shrinking by {replicas} would leave none — use "
+                "release() to evict the deployment"
+            )
+        freed = deployment.replica_banks[-replicas:]
+        del deployment.replica_banks[-replicas:]
+        self.free_banks.extend(b for group in freed for b in group)
+        self.free_banks.sort()
+        deployment.plan.bank_replicas = deployment.replicas
+        if telemetry.enabled():
+            telemetry.count(
+                "scheduler.shrinks", replicas, workload=name
+            )
+            telemetry.gauge(
+                "scheduler.bank_utilization", self.utilization()
+            )
+        return deployment
+
     def release(self, name: str) -> None:
         """Return a deployment's banks to the free pool."""
         deployment = self.deployments.pop(name, None)

@@ -21,6 +21,16 @@ compile/program/run pipeline into a resident service:
 * :mod:`repro.serve.loadgen` — closed-loop load generation with
   p50/p95/p99 latency metering (``serve.*`` telemetry) and the
   analytical throughput cross-check.
+* :mod:`repro.serve.arrivals` — open-loop arrival processes
+  (Poisson base with burst/diurnal/spike shapes, deterministic from
+  the seed) for saturation studies the closed loop cannot express.
+* :mod:`repro.serve.autoscaler` — reactive replica autoscaling:
+  windowed arrival rate against per-replica capacity, grow/shrink
+  through ``ServingRuntime.scale_to`` with measured reprogram cost.
+* :mod:`repro.serve.cluster` — :class:`ServingCluster`: several
+  tenants over one shared bank pool, pipelined non-blocking polling
+  across deployments, per-tenant admission control (queue-depth and
+  deadline shedding), and the open-loop saturation reports.
 
 Every request carries a trace context (deterministic trace id, tenant
 label, arrival time) and its lifecycle is recorded as
@@ -35,10 +45,23 @@ See README "Serving" for the knobs and the guarantee, and
 this buys over per-request execution.
 """
 
+from repro.serve.arrivals import ArrivalProcess, TrafficShape
+from repro.serve.autoscaler import (
+    Autoscaler,
+    AutoscalerPolicy,
+    ScaleEvent,
+)
 from repro.serve.batcher import (
     DEFAULT_MAX_WAIT_S,
     MicroBatcher,
     ServeRequest,
+)
+from repro.serve.cluster import (
+    AdmissionPolicy,
+    ClusterReport,
+    ServingCluster,
+    TenantReport,
+    TenantSpec,
 )
 from repro.serve.dispatcher import (
     ProcessDispatcher,
@@ -53,9 +76,19 @@ from repro.serve.loadgen import LoadGenerator, LoadReport
 from repro.serve.runtime import ServeConfig, ServingRuntime
 
 __all__ = [
+    "AdmissionPolicy",
+    "ArrivalProcess",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "ClusterReport",
     "DEFAULT_MAX_WAIT_S",
     "LoadGenerator",
     "LoadReport",
+    "ScaleEvent",
+    "ServingCluster",
+    "TenantReport",
+    "TenantSpec",
+    "TrafficShape",
     "MicroBatcher",
     "ProcessDispatcher",
     "SerialDispatcher",

@@ -1,0 +1,188 @@
+"""Open-loop arrival processes for datacenter traffic simulation.
+
+The closed-loop :class:`~repro.serve.loadgen.LoadGenerator` issues a
+request only when a previous one returns, so it can never observe
+saturation: offered load adapts to service capacity by construction.
+An *open-loop* arrival process is the opposite — request arrival times
+are drawn ahead of time from a traffic model and do not care whether
+the server keeps up.  Queues grow, admission control sheds, and tail
+latency under overload becomes measurable; this is the regime PRIME's
+bank-level-parallelism section gestures at ("many applications, many
+concurrent requests") but never simulates.
+
+:class:`ArrivalProcess` draws arrival timestamps from a (possibly
+non-homogeneous) Poisson process via thinning: a base ``rate_rps``
+modulated by a :class:`TrafficShape` — constant, periodic bursts, a
+diurnal sinusoid, or a one-off spike.  Everything is deterministic
+from the seed: the same process yields the same timestamps on every
+run, and ``times(n)`` is a prefix of ``times(m)`` for ``n <= m``, so
+traces are reproducible across the pipelined/synchronous comparison
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TrafficShape", "ArrivalProcess"]
+
+
+@dataclass(frozen=True)
+class TrafficShape:
+    """A time-varying rate multiplier: ``rate(t) = base * factor(t)``.
+
+    Build via the classmethods; ``factor`` is vectorised over numpy
+    arrays of timestamps and always non-negative, and :attr:`peak`
+    upper-bounds it (the thinning envelope).
+    """
+
+    kind: str = "constant"
+    #: Burst shape: rate multiplies by ``factor_up`` during the first
+    #: ``burst_len_s`` of every ``period_s`` window.
+    factor_up: float = 1.0
+    period_s: float = 1.0
+    burst_len_s: float = 0.0
+    #: Diurnal shape: ``1 + amplitude * sin(2*pi*t/period_s)``.
+    amplitude: float = 0.0
+    #: Spike shape: rate multiplies by ``factor_up`` inside the window
+    #: ``[at_s, at_s + burst_len_s)``.
+    at_s: float = 0.0
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def constant(cls) -> "TrafficShape":
+        """Homogeneous Poisson traffic."""
+        return cls(kind="constant")
+
+    @classmethod
+    def burst(
+        cls, factor: float, period_s: float, burst_len_s: float
+    ) -> "TrafficShape":
+        """Square-wave bursts: ``factor`` x rate for ``burst_len_s``
+        at the start of every ``period_s`` window, base rate between."""
+        if factor < 0 or period_s <= 0 or not 0 <= burst_len_s <= period_s:
+            raise ConfigurationError("invalid burst shape")
+        return cls(
+            kind="burst",
+            factor_up=factor,
+            period_s=period_s,
+            burst_len_s=burst_len_s,
+        )
+
+    @classmethod
+    def diurnal(cls, amplitude: float, period_s: float) -> "TrafficShape":
+        """Sinusoidal day/night swing, ``amplitude`` in [0, 1]."""
+        if not 0 <= amplitude <= 1 or period_s <= 0:
+            raise ConfigurationError("invalid diurnal shape")
+        return cls(kind="diurnal", amplitude=amplitude, period_s=period_s)
+
+    @classmethod
+    def spike(
+        cls, at_s: float, len_s: float, factor: float
+    ) -> "TrafficShape":
+        """A single overload spike of ``factor`` x rate at ``at_s``."""
+        if factor < 0 or len_s < 0:
+            raise ConfigurationError("invalid spike shape")
+        return cls(
+            kind="spike", at_s=at_s, burst_len_s=len_s, factor_up=factor
+        )
+
+    # -- evaluation -----------------------------------------------------
+
+    def factor(self, t: np.ndarray) -> np.ndarray:
+        """The rate multiplier at timestamps ``t`` (vectorised)."""
+        t = np.asarray(t, dtype=np.float64)
+        if self.kind == "constant":
+            return np.ones_like(t)
+        if self.kind == "burst":
+            in_burst = np.mod(t, self.period_s) < self.burst_len_s
+            return np.where(in_burst, self.factor_up, 1.0)
+        if self.kind == "diurnal":
+            return 1.0 + self.amplitude * np.sin(
+                2.0 * math.pi * t / self.period_s
+            )
+        if self.kind == "spike":
+            in_spike = (t >= self.at_s) & (
+                t < self.at_s + self.burst_len_s
+            )
+            return np.where(in_spike, self.factor_up, 1.0)
+        raise ConfigurationError(f"unknown traffic shape {self.kind!r}")
+
+    @property
+    def peak(self) -> float:
+        """An upper bound on :meth:`factor` — the thinning envelope."""
+        if self.kind == "constant":
+            return 1.0
+        if self.kind in ("burst", "spike"):
+            return max(1.0, self.factor_up)
+        if self.kind == "diurnal":
+            return 1.0 + self.amplitude
+        raise ConfigurationError(f"unknown traffic shape {self.kind!r}")
+
+
+class ArrivalProcess:
+    """Deterministic open-loop arrival-time generator.
+
+    Draws from a Poisson process of base ``rate_rps`` modulated by
+    ``shape`` using the thinning method: candidate gaps are exponential
+    at the peak rate, and each candidate survives with probability
+    ``factor(t) / peak``.  A fresh ``numpy`` Philox-family generator is
+    seeded per call, so :meth:`times` is a pure function of
+    ``(rate_rps, shape, seed)``.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        shape: TrafficShape | None = None,
+        seed: int = 0,
+        start_s: float = 0.0,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ConfigurationError("rate_rps must be > 0")
+        self.rate_rps = float(rate_rps)
+        self.shape = shape or TrafficShape.constant()
+        self.seed = int(seed)
+        self.start_s = float(start_s)
+
+    def times(self, n: int) -> np.ndarray:
+        """The first ``n`` arrival timestamps (seconds, ascending)."""
+        if n < 0:
+            raise ConfigurationError("n must be >= 0")
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        lam = self.rate_rps * self.shape.peak
+        out: list[float] = []
+        t = self.start_s
+        # Fixed chunk size: the draw sequence must not depend on ``n``
+        # or times(n) would stop being a prefix of times(m > n).
+        chunk = 256
+        while len(out) < n:
+            gaps = rng.exponential(1.0 / lam, size=chunk)
+            accept_draw = rng.random(chunk)
+            candidates = t + np.cumsum(gaps)
+            keep = accept_draw <= (
+                self.shape.factor(candidates) / self.shape.peak
+            )
+            out.extend(candidates[keep].tolist())
+            t = float(candidates[-1])
+        return np.asarray(out[:n], dtype=np.float64)
+
+    def until(self, horizon_s: float) -> np.ndarray:
+        """Every arrival in ``[start_s, start_s + horizon_s)``."""
+        if horizon_s <= 0:
+            return np.empty(0, dtype=np.float64)
+        end = self.start_s + horizon_s
+        n = 64
+        while True:
+            times = self.times(n)
+            if times[-1] >= end:
+                return times[times < end]
+            n *= 2

@@ -187,6 +187,39 @@ class MicroBatcher:
             )
         return batch
 
+    def drop_stale(
+        self, deadline_s: float, now: float | None = None
+    ) -> list[ServeRequest]:
+        """Pop queued requests older than ``deadline_s`` and return them.
+
+        The admission controller's deadline-shedding primitive: a
+        request that has already waited past its deadline can only
+        waste a replica, so the cluster loop drops it from the queue
+        head before forming the next batch.  Dropped requests never
+        complete (``result`` stays ``None``); each is counted under
+        ``serve.shed{reason=deadline}``.
+        """
+        if deadline_s < 0:
+            raise ConfigurationError("deadline_s must be >= 0")
+        now = self.clock() if now is None else now
+        dropped: list[ServeRequest] = []
+        while (
+            self._queue
+            and now - self._queue[0].t_enqueue > deadline_s
+        ):
+            dropped.append(self._queue.popleft())
+        if dropped and telemetry.enabled():
+            telemetry.count(
+                "serve.shed",
+                len(dropped),
+                reason="deadline",
+                **self._labels,
+            )
+            telemetry.gauge(
+                "serve.queue_depth", len(self._queue), **self._labels
+            )
+        return dropped
+
     def drain(self):
         """Yield every remaining micro-batch (flushing partials)."""
         while True:

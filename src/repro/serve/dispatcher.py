@@ -149,18 +149,55 @@ class _SlabPool:
         self.out_bytes = out_bytes
         self.slots = slots
         self.slot_bytes = in_bytes + out_bytes
-        self.slabs = [
-            SharedMemory(create=True, size=slots * self.slot_bytes)
-            for _ in range(replicas)
-        ]
-        self._by_name = {shm.name: shm for shm in self.slabs}
-        self._free = [list(range(slots)) for _ in range(replicas)]
+        self.slabs: list[SharedMemory] = []
+        self._by_name: dict[str, SharedMemory] = {}
+        self._free: list[list[int]] = []
         self._next = 0
+        for _ in range(replicas):
+            self.add_replica()
 
-    def acquire(self) -> tuple[int, int] | None:
-        """A free ``(slab, slot)``, rotating across replica slabs;
-        ``None`` when every slot is inflight."""
+    def add_replica(self) -> None:
+        """Allocate one more replica slab (autoscaler grow path)."""
+        shm = SharedMemory(create=True, size=self.slots * self.slot_bytes)
+        self.slabs.append(shm)
+        self._by_name[shm.name] = shm
+        self._free.append(list(range(self.slots)))
+
+    def remove_replica(self) -> None:
+        """Release the last replica slab (autoscaler shrink path).
+
+        The caller must have drained that replica's inflight batches —
+        removing a slab with held slots is a bug, not a race.
+        """
+        if len(self._free[-1]) != self.slots:
+            raise ConfigurationError(
+                "cannot remove a replica slab with inflight slots"
+            )
+        shm = self.slabs.pop()
+        self._free.pop()
+        del self._by_name[shm.name]
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def acquire(
+        self, replica: int | None = None
+    ) -> tuple[int, int] | None:
+        """A free ``(slab, slot)``; ``None`` when none is available.
+
+        With ``replica`` given the slot is pinned to that replica's
+        slab (the per-replica worker pool executes straight off its own
+        slab); without it the pool rotates across replica slabs (the
+        legacy round-robin used by direct dispatcher micro-benches).
+        """
         n = len(self.slabs)
+        if replica is not None:
+            i = replica % n
+            if self._free[i]:
+                return i, self._free[i].pop()
+            return None
         start = self._next
         self._next = (start + 1) % n
         for k in range(n):
@@ -233,6 +270,18 @@ class WorkerSpec:
     #: Set by the runtime when the coordinator has telemetry enabled at
     #: deploy time; costs nothing when off.
     ship_telemetry: bool = False
+    #: Emulated device service time per micro-batch (wall seconds), or
+    #: ``None`` for no pacing.  On PIM hardware the banks compute while
+    #: the host coordinates; the functional simulation conflates both
+    #: into host CPU, which makes replica *occupancy* (everything the
+    #: cluster loop schedules around: pipelining overlap, autoscaling,
+    #: saturation) an artifact of the host's core count and BLAS
+    #: threading.  Pacing floors each batch's execution wall time at a
+    #: fixed device service time, so scheduling behaviour is
+    #: machine-independent and genuinely overlappable.  Results are
+    #: unchanged — pacing only ever sleeps after the values are
+    #: computed.
+    pace_batch_s: float | None = None
 
     @property
     def use_rng(self) -> bool:
@@ -303,15 +352,23 @@ def run_programmed(
     noise_seed: int | None = None,
 ) -> np.ndarray:
     """Serve one micro-batch from already-programmed state."""
+    start = time.perf_counter() if spec.pace_batch_s else 0.0
     if spec.with_noise and noise_seed is not None:
         programmed[0].kernel.reseed_noise(noise_seed)
-    return executor.run_functional(
+    result = executor.run_functional(
         spec.network,
         spec.plan,
         batch,
         programmed=programmed,
         with_noise=spec.with_noise,
     )
+    if spec.pace_batch_s:
+        # Hold the batch until the emulated device service time has
+        # elapsed; see WorkerSpec.pace_batch_s.
+        remaining = spec.pace_batch_s - (time.perf_counter() - start)
+        if remaining > 0.0:
+            time.sleep(remaining)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -442,13 +499,19 @@ def _pool_ping() -> bool:
 
 
 class SerialDispatcher:
-    """In-process fallback: one programmed copy, served inline.
+    """In-process fallback: programmed copies served inline.
 
     ``dispatch`` returns an already-resolved :class:`Future` holding a
     :class:`~repro.telemetry.shipping.ResultEnvelope`, so the runtime
     drives both dispatchers identically — including telemetry shipping:
     serial execution records into the same scratch-session envelope a
     pool worker would, and the runtime merges it back the same way.
+
+    The initial replicas share a single lazily-programmed state (they
+    are bit-identical by construction, and serial mode has no real
+    parallelism to exploit); :meth:`grow` programs a fresh state per
+    added replica so the autoscaler's scale-up cost stays explicit and
+    measured even in serial mode.
     """
 
     mode = "serial"
@@ -460,26 +523,31 @@ class SerialDispatcher:
     def __init__(self, spec: WorkerSpec, replicas: int = 1) -> None:
         self.spec = spec
         self.replicas = replicas
-        self._state: tuple | None = None
+        #: Programmed states, indexed by replica; replicas beyond the
+        #: list share the first (initial-deploy) state.
+        self._states: list[tuple] = []
         self._init_delta = None
 
-    def _ensure(self):
-        if self._state is None:
+    def _ensure(self, replica: int = 0):
+        if not self._states:
             if self.spec.ship_telemetry:
                 state, delta, _ = run_scoped(program_state, self.spec)
                 self._init_delta = None if delta.empty else delta
             else:
                 state = program_state(self.spec)
-            self._state = state
-        return self._state
+            self._states.append(state)
+        return self._states[min(replica, len(self._states) - 1)]
 
     def dispatch(
         self,
         batch: np.ndarray,
         noise_seed: int | None = None,
         ship: bool = False,
+        replica: int | None = None,
     ) -> Future:
-        executor, programmed = self._ensure()
+        executor, programmed = self._ensure(
+            0 if replica is None else replica % max(self.replicas, 1)
+        )
         future: Future = Future()
         future.set_result(
             _serve_batch(
@@ -496,8 +564,31 @@ class SerialDispatcher:
             self._init_delta = None
         return future
 
+    def grow(self, replicas: int = 1) -> float:
+        """Add replicas, programming one fresh state each; returns the
+        measured one-time programming wall seconds."""
+        self._ensure()
+        start = time.perf_counter()
+        for _ in range(replicas):
+            self._states.append(program_state(self.spec))
+        self.replicas += replicas
+        return time.perf_counter() - start
+
+    def shrink(self, replicas: int = 1) -> float:
+        """Drop replicas (and their grown states); returns 0.0 — serial
+        teardown is free."""
+        if replicas >= self.replicas:
+            raise ConfigurationError(
+                "cannot shrink below one replica"
+            )
+        for _ in range(replicas):
+            if len(self._states) > 1:
+                self._states.pop()
+        self.replicas -= replicas
+        return 0.0
+
     def close(self) -> None:
-        self._state = None
+        self._states = []
         self._init_delta = None
 
 
@@ -544,12 +635,20 @@ class _ShmFuture:
 
 
 class ProcessDispatcher:
-    """Persistent pool with one programmed worker per replica.
+    """Per-replica persistent worker pools with programmed state.
 
-    ``slab_shape=(max_batch, in_elems, out_elems)`` enables the
+    Every replica bank group gets its *own* single-worker
+    ``ProcessPoolExecutor`` (the worker programs its copy exactly once,
+    in the pool initializer), so batch → replica routing is explicit:
+    the coordinator can keep each replica's queue saturated
+    independently, and a replica grant can grow or shrink live — grow
+    spawns one more pool (its programming cost is measured and
+    returned), shrink retires the newest pool after the runtime drains
+    it.  ``slab_shape=(max_batch, in_elems, out_elems)`` enables the
     shared-memory payload path: per-replica slabs sized for
-    ``max_batch`` samples of the widest layer.  Without it (or with
-    ``PRIME_SHM=0``) every batch pickles through the pool pipe.
+    ``max_batch`` samples of the widest layer, pinned to their
+    replica's pool.  Without it (or with ``PRIME_SHM=0``) every batch
+    pickles through the pool pipe.
     """
 
     mode = "process"
@@ -563,9 +662,8 @@ class ProcessDispatcher:
         if replicas < 1:
             raise ConfigurationError("replicas must be >= 1")
         self.spec = spec
-        self.replicas = replicas
-        # Start the multiprocessing resource tracker before the pool
-        # forks so every worker inherits it: attaching a slab then
+        # Start the multiprocessing resource tracker before the pools
+        # fork so every worker inherits it: attaching a slab then
         # registers into the same tracker (an idempotent set add, and
         # the coordinator's unlink clears it once) instead of spawning
         # a per-worker tracker that would try to clean the slab a
@@ -574,29 +672,25 @@ class ProcessDispatcher:
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - tracker is best-effort
             pass
-        payload = pickle.dumps(spec)
-        self._pool = ProcessPoolExecutor(
-            max_workers=replicas,
-            initializer=_pool_init,
-            initargs=(payload,),
-        )
-        # Force a worker up now: programming happens in the initializer,
-        # so an environment that cannot host the pool (no fork, broken
-        # pickling) fails here, where make_dispatcher can still fall
-        # back to serial, not on the first real request.
-        if not self._pool.submit(_pool_ping).result(
-            timeout=_POOL_PROBE_TIMEOUT_S
-        ):
-            raise BrokenProcessPool("pool worker failed to initialise")
+        self._payload = pickle.dumps(spec)
+        self._pools: list[ProcessPoolExecutor] = []
+        self._rr = 0
+        try:
+            self._spawn(replicas)
+        except BaseException:
+            self.close()
+            raise
         self._slabs: _SlabPool | None = None
+        self._slab_bytes: tuple[int, int] | None = None
         if slab_shape is not None and shm_enabled():
             max_batch, in_elems, out_elems = slab_shape
+            self._slab_bytes = (
+                max_batch * in_elems * 8,
+                max_batch * out_elems * 8,
+            )
             try:
                 self._slabs = _SlabPool(
-                    replicas,
-                    _SLAB_SLOTS,
-                    max_batch * in_elems * 8,
-                    max_batch * out_elems * 8,
+                    replicas, _SLAB_SLOTS, *self._slab_bytes
                 )
             except OSError as exc:
                 logger.warning(
@@ -617,6 +711,36 @@ class ProcessDispatcher:
                 )
 
     @property
+    def replicas(self) -> int:
+        return len(self._pools)
+
+    def _spawn(self, n: int) -> None:
+        """Start ``n`` replica pools and wait for their workers.
+
+        Programming happens in the pool initializer, so an environment
+        that cannot host a pool (no fork, broken pickling) fails here,
+        where ``make_dispatcher`` can still fall back to serial, not on
+        the first real request.  The ping probes are submitted to every
+        new pool before any is awaited, so replica programming
+        overlaps.
+        """
+        pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_pool_init,
+                initargs=(self._payload,),
+            )
+            for _ in range(n)
+        ]
+        self._pools.extend(pools)
+        probes = [pool.submit(_pool_ping) for pool in pools]
+        for probe in probes:
+            if not probe.result(timeout=_POOL_PROBE_TIMEOUT_S):
+                raise BrokenProcessPool(
+                    "pool worker failed to initialise"
+                )
+
+    @property
     def inflight_limit(self) -> int | None:
         """Batches the runtime may leave unresolved before collecting.
 
@@ -634,7 +758,14 @@ class ProcessDispatcher:
         batch: np.ndarray,
         noise_seed: int | None = None,
         ship: bool = False,
+        replica: int | None = None,
     ) -> Future:
+        if replica is None:
+            replica = self._rr
+            self._rr = (self._rr + 1) % len(self._pools)
+        else:
+            replica %= len(self._pools)
+        pool = self._pools[replica]
         slabs = self._slabs
         if slabs is not None:
             if (
@@ -645,23 +776,57 @@ class ProcessDispatcher:
                     "serve.dispatch.shm_fallback", reason="size"
                 )
             else:
-                key = slabs.acquire()
+                key = slabs.acquire(replica)
                 if key is None:
                     telemetry.count(
                         "serve.dispatch.shm_fallback", reason="slots"
                     )
                 else:
                     in_ref, result_slot = slabs.stage(key, batch)
-                    inner = self._pool.submit(
+                    inner = pool.submit(
                         _pool_run, (in_ref, noise_seed, ship, result_slot)
                     )
                     telemetry.count("serve.dispatch.shm_batches")
                     return _ShmFuture(inner, slabs, key)
-        return self._pool.submit(_pool_run, (batch, noise_seed, ship, None))
+        return pool.submit(_pool_run, (batch, noise_seed, ship, None))
+
+    def grow(self, replicas: int = 1) -> float:
+        """Spawn ``replicas`` more programmed workers (and slabs).
+
+        Returns the measured wall seconds the scale-up cost: pool fork
+        plus the one-time ``program_state`` in each new worker's
+        initializer.
+        """
+        if replicas < 1:
+            raise ConfigurationError("grow needs replicas >= 1")
+        start = time.perf_counter()
+        self._spawn(replicas)
+        if self._slabs is not None:
+            for _ in range(replicas):
+                self._slabs.add_replica()
+        return time.perf_counter() - start
+
+    def shrink(self, replicas: int = 1) -> float:
+        """Retire the newest ``replicas`` worker pools.
+
+        The caller (the runtime's ``scale_to``) must have drained every
+        inflight batch first — a held slab slot on a retiring replica
+        raises rather than corrupting the slab pool.
+        """
+        if replicas >= len(self._pools):
+            raise ConfigurationError("cannot shrink below one replica")
+        for _ in range(replicas):
+            if self._slabs is not None:
+                self._slabs.remove_replica()
+            self._pools.pop().shutdown(wait=False, cancel_futures=True)
+        self._rr %= len(self._pools)
+        return 0.0
 
     def close(self) -> None:
-        self._pool.shutdown(wait=False, cancel_futures=True)
-        if self._slabs is not None:
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+        if getattr(self, "_slabs", None) is not None:
             self._slabs.close()
             self._slabs = None
 

@@ -14,7 +14,6 @@ analytical cross-check against
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass
 
@@ -22,14 +21,9 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import ConfigurationError
+from repro.telemetry.metrics import nearest_rank
 
 __all__ = ["LoadReport", "LoadGenerator"]
-
-
-def _percentile(latencies: list[float], q: float) -> float:
-    """Nearest-rank percentile of a non-empty sorted latency list."""
-    rank = max(1, math.ceil(q / 100.0 * len(latencies)))
-    return latencies[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -44,6 +38,7 @@ class LoadReport:
     p50_ms: float
     p95_ms: float
     p99_ms: float
+    p999_ms: float
     mean_ms: float
     batches: int
     mean_batch: float
@@ -151,9 +146,10 @@ class LoadGenerator:
             concurrency=self.concurrency,
             duration_s=duration,
             throughput_rps=n_requests / duration,
-            p50_ms=_percentile(latencies, 50.0),
-            p95_ms=_percentile(latencies, 95.0),
-            p99_ms=_percentile(latencies, 99.0),
+            p50_ms=nearest_rank(latencies, 50.0),
+            p95_ms=nearest_rank(latencies, 95.0),
+            p99_ms=nearest_rank(latencies, 99.0),
+            p999_ms=nearest_rank(latencies, 99.9),
             mean_ms=sum(latencies) / len(latencies),
             batches=batches,
             mean_batch=n_requests / batches if batches else 0.0,

@@ -71,6 +71,12 @@ class ServeConfig:
     #: Tenant (model) label stamped on every request's trace context
     #: and on the ``serve.*`` metrics; defaults to the deployment name.
     tenant: str = ""
+    #: Emulated device service time per micro-batch (wall seconds), or
+    #: ``None`` for no pacing.  Floors each batch's execution wall time
+    #: so replica occupancy reflects modeled device latency rather than
+    #: the host's core count; results are unchanged.  See
+    #: :attr:`~repro.serve.dispatcher.WorkerSpec.pace_batch_s`.
+    pace_batch_s: float | None = None
 
 
 class ServingRuntime:
@@ -86,6 +92,7 @@ class ServingRuntime:
         max_replicas: int | None = None,
         calibration: np.ndarray | None = None,
         resilience: ResiliencePolicy | None = None,
+        clock=None,
     ) -> None:
         self.config = config
         self.serve_config = serve_config or ServeConfig()
@@ -107,10 +114,12 @@ class ServingRuntime:
             self.tenant = (
                 self.serve_config.tenant or self.deployment.name
             )
+            batcher_kw = {} if clock is None else {"clock": clock}
             self.batcher = MicroBatcher(
                 max_batch,
                 self.serve_config.max_wait_s,
                 tenant=self.tenant,
+                **batcher_kw,
             )
             self.spec = WorkerSpec(
                 network=network,
@@ -121,6 +130,7 @@ class ServingRuntime:
                 resilience=resilience,
                 calibration=calibration,
                 ship_telemetry=telemetry.enabled(),
+                pace_batch_s=self.serve_config.pace_batch_s,
             )
             # Shared-memory slabs are sized for a full micro-batch of
             # the widest mapped layer, so any batch the batcher can
@@ -145,6 +155,10 @@ class ServingRuntime:
         #: in dispatch order.
         self._inflight: list[tuple] = []
         self._drained = 0
+        #: Summed worker-measured execution wall time (ns) of every
+        #: collected batch — the numerator of replica-utilisation /
+        #: idle-fraction accounting in the cluster reports.
+        self.busy_ns = 0
         #: Worker pid → stable replica track index, in first-seen
         #: order, for labelling merged worker telemetry.
         self._worker_tracks: dict[int, int] = {}
@@ -177,13 +191,19 @@ class ServingRuntime:
             raise ExecutionError("serving runtime is closed")
         return self.batcher.submit(x)
 
+    @property
+    def inflight(self) -> int:
+        """Dispatched micro-batches not yet collected."""
+        return len(self._inflight)
+
     def pump(self, flush: bool = False) -> int:
-        """Move work: ship ready batches, collect finished ones.
+        """Move work synchronously: ship ready batches, wait for all.
 
         Dispatches every micro-batch the batcher will release (all of
         them, including partials, when ``flush`` is set), then resolves
-        every in-flight future onto its requests.  Returns the number
-        of requests completed by this call.
+        every in-flight future onto its requests — the dispatch-then-
+        wait loop the single-model serving path uses.  Returns the
+        number of requests completed by this call.
         """
         while True:
             batch = self.batcher.next_batch(flush=flush)
@@ -191,6 +211,37 @@ class ServingRuntime:
                 break
             self._dispatch(batch)
         completed = self._collect()
+        self._sample_gauges()
+        return completed
+
+    def poll(self, flush: bool = False) -> int:
+        """Move work without waiting: the pipelined pump.
+
+        Dispatches ready micro-batches only while the dispatcher has
+        uncontended capacity (its shared-memory slot depth), then
+        resolves the *finished* prefix of the in-flight queue — never
+        blocking on a batch still executing.  Interleaving ``poll``
+        across several runtimes keeps every deployment's replicas
+        saturated while batches form: batch formation overlaps
+        in-flight execution instead of serialising behind it.  Returns
+        the number of requests completed by this call.
+        """
+        if self._closed:
+            raise ExecutionError("serving runtime is closed")
+        limit = self.dispatcher.inflight_limit
+        while limit is None or len(self._inflight) < limit:
+            batch = self.batcher.next_batch(flush=flush)
+            if batch is None:
+                break
+            self._dispatch(batch, block=False)
+        completed = self._drained
+        self._drained = 0
+        while self._inflight and self._inflight[0][0].done():
+            completed += self._resolve(*self._inflight.pop(0))
+        self._sample_gauges()
+        return completed
+
+    def _sample_gauges(self) -> None:
         if telemetry.enabled():
             telemetry.gauge(
                 "serve.inflight_batches",
@@ -202,7 +253,6 @@ class ServingRuntime:
                 self.batcher.queue_depth,
                 tenant=self.tenant,
             )
-        return completed
 
     def serve(self, samples: np.ndarray) -> np.ndarray:
         """Convenience loop: submit every sample, drain, stack outputs.
@@ -214,7 +264,9 @@ class ServingRuntime:
         self.pump(flush=True)
         return np.stack([r.result for r in requests])
 
-    def _dispatch(self, batch: list[ServeRequest]) -> None:
+    def _dispatch(
+        self, batch: list[ServeRequest], block: bool = True
+    ) -> None:
         stacked = np.stack([r.x for r in batch])
         if stacked.dtype != np.float64:
             stacked = stacked.astype(np.float64)
@@ -241,15 +293,18 @@ class ServingRuntime:
         for request in batch:
             request.t_dispatched = t_dispatch
         limit = self.dispatcher.inflight_limit
-        if limit is not None:
+        if block and limit is not None:
             # Backpressure: past the dispatcher's inflight depth (the
             # shared-memory slot count) further dispatches would only
             # downgrade to pickled payloads, so resolve the oldest
             # batch first — its replica has almost certainly finished
-            # it by the time the queue is this deep.
+            # it by the time the queue is this deep.  (``poll`` never
+            # gets here: it stops dispatching at the limit instead.)
             while len(self._inflight) >= limit:
                 self._drained += self._resolve(*self._inflight.pop(0))
-        future = self.dispatcher.dispatch(stacked, noise_seed, ship=ship)
+        future = self.dispatcher.dispatch(
+            stacked, noise_seed, ship=ship, replica=replica
+        )
         self._inflight.append((future, batch, t_dispatch))
 
     def _collect(self) -> int:
@@ -263,6 +318,7 @@ class ServingRuntime:
     def _resolve(self, future, batch, t_dispatch: float) -> int:
         completed = 0
         envelope = future.result()
+        self.busy_ns += envelope.execute_ns
         now = self.batcher.clock()
         if telemetry.enabled():
             self._merge_worker_telemetry(envelope, t_dispatch)
@@ -361,6 +417,67 @@ class ServingRuntime:
                 parent_index=parent.index,
                 depth=1,
             )
+
+    # -- autoscaling ----------------------------------------------------
+
+    def scale_to(self, replicas: int) -> float:
+        """Grow or shrink this deployment's replica grant, live.
+
+        Grow claims more bank groups from the shared scheduler
+        (:meth:`BankScheduler.grow`) and spawns freshly-programmed
+        workers for them — the one-time ``program_state`` cost of the
+        new replicas is measured and returned (wall seconds), recorded
+        as the ``serve.scale`` span and the
+        ``serve.scale.reprogram_ms`` histogram, so scale-up is never
+        free in the reports.  Shrink drains every in-flight batch
+        first, retires the newest workers, and returns their banks.
+        Returns 0.0 when ``replicas`` already matches.
+        """
+        if self._closed:
+            raise ExecutionError("serving runtime is closed")
+        if replicas < 1:
+            raise ExecutionError("cannot scale below one replica")
+        current = self.replicas
+        if replicas == current:
+            return 0.0
+        direction = "grow" if replicas > current else "shrink"
+        with telemetry.span(
+            "serve.scale",
+            tenant=self.tenant,
+            direction=direction,
+            from_replicas=current,
+            to_replicas=replicas,
+        ):
+            if replicas > current:
+                self.scheduler.grow(self.name, replicas - current)
+                try:
+                    cost = self.dispatcher.grow(replicas - current)
+                except BaseException:
+                    # Workers failed to come up: hand the banks back so
+                    # grant and worker count cannot diverge.
+                    self.scheduler.shrink(
+                        self.name, replicas - current
+                    )
+                    raise
+            else:
+                # A retiring replica may still hold in-flight batches
+                # (and slab slots): resolve everything first.
+                self._drained += self._collect()
+                cost = self.dispatcher.shrink(current - replicas)
+                self.scheduler.shrink(self.name, current - replicas)
+            if telemetry.enabled():
+                telemetry.count(
+                    "serve.scale_events",
+                    tenant=self.tenant,
+                    direction=direction,
+                )
+                telemetry.observe(
+                    "serve.scale.reprogram_ms",
+                    cost * 1e3,
+                    tenant=self.tenant,
+                    direction=direction,
+                )
+        return cost
 
     # -- cross-checks ---------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    nearest_rank,
 )
 from repro.telemetry.trace import (
     ModelEvent,
@@ -52,6 +53,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "nearest_rank",
     "ModelEvent",
     "NullSpan",
     "NULL_SPAN",

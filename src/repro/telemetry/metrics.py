@@ -21,6 +21,23 @@ def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def nearest_rank(sorted_values, q: float) -> float:
+    """Nearest-rank percentile ``q`` (0-100) of an ascending sequence.
+
+    The single percentile definition of the whole repo: histogram
+    snapshots, the load generator's latency reports, and the cluster
+    saturation reports all call this helper, so their numbers can never
+    drift apart.  Returns 0.0 for an empty sequence.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * n))
+    return sorted_values[rank - 1]
+
+
 #: Retained-sample budget per histogram before deterministic decimation
 #: kicks in (see :meth:`Histogram.observe`).
 SAMPLE_CAP = 8192
@@ -99,13 +116,7 @@ class Histogram:
 
         Returns 0.0 for an empty histogram.
         """
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        return nearest_rank(sorted(self.samples), q)
 
     def attainment(self, threshold: float) -> float:
         """Fraction of retained samples at or under ``threshold``.

@@ -172,6 +172,24 @@ class TenantBreakdown:
     stage_mean_ms: dict[str, float] = field(default_factory=dict)
     #: Each stage's share of mean end-to-end latency.
     stage_share: dict[str, float] = field(default_factory=dict)
+    # -- open-loop saturation view (zero under closed-loop traffic) --
+    #: p99.9 latency — the open-loop tail the closed-loop generator
+    #: cannot observe (queues never build when clients self-limit).
+    p999_ms: float = 0.0
+    #: Requests submitted to the tenant's batcher (``serve.requests``),
+    #: i.e. offered *and admitted* load.
+    offered: int = 0
+    #: Requests shed before execution, summed over reasons.
+    shed: int = 0
+    #: Shed counts split by reason (``queue_depth``, ``deadline``).
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed requests over everything offered at the admission
+        gate (admitted + shed)."""
+        total = self.offered + self.shed
+        return self.shed / total if total > 0 else 0.0
 
     @property
     def coverage(self) -> float:
@@ -204,6 +222,11 @@ class ServingReport:
                     "p50_ms": t.p50_ms,
                     "p95_ms": t.p95_ms,
                     "p99_ms": t.p99_ms,
+                    "p999_ms": t.p999_ms,
+                    "offered": t.offered,
+                    "shed": t.shed,
+                    "shed_rate": t.shed_rate,
+                    "shed_by_reason": dict(t.shed_by_reason),
                     **{
                         f"{stage}_ms": t.stage_mean_ms.get(stage, 0.0)
                         for stage in STAGES
@@ -339,6 +362,12 @@ def serving_report(
             stage_share[stage] = (
                 hist.mean / latency.mean if latency.mean > 0 else 0.0
             )
+        shed_by_reason = {
+            str(c.labels.get("reason", "")): int(c.value)
+            for c in metrics.counters()
+            if c.name == "serve.shed"
+            and c.labels.get("tenant") == tenant
+        }
         breakdowns.append(
             TenantBreakdown(
                 tenant=tenant,
@@ -347,6 +376,12 @@ def serving_report(
                 p50_ms=latency.percentile(50.0),
                 p95_ms=latency.percentile(95.0),
                 p99_ms=latency.percentile(99.0),
+                p999_ms=latency.percentile(99.9),
+                offered=int(
+                    metrics.counter_value("serve.requests", tenant=tenant)
+                ),
+                shed=sum(shed_by_reason.values()),
+                shed_by_reason=shed_by_reason,
                 stage_mean_ms=stage_mean,
                 stage_share=stage_share,
             )

@@ -213,6 +213,116 @@ class TestSchedulerLifecycle:
         assert len(dep.banks) == len(set(dep.banks))
 
 
+class TestGrowShrink:
+    """Incremental grant resizing behind the reactive autoscaler."""
+
+    def test_grow_grants_more_replica_groups(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=2
+        )
+        footprint = len(dep.replica_banks[0])
+        free_before = len(scheduler.free_banks)
+        scheduler.grow("MLP-S", 3)
+        assert dep.replicas == 5
+        assert dep.plan.bank_replicas == 5
+        assert len(scheduler.free_banks) == free_before - 3 * footprint
+        assert all(
+            len(group) == footprint for group in dep.replica_banks
+        )
+        assert len(dep.banks) == len(set(dep.banks))
+
+    def test_shrink_returns_last_groups(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=4
+        )
+        last_group = set(dep.replica_banks[-1])
+        scheduler.shrink("MLP-S", 1)
+        assert dep.replicas == 3
+        assert dep.plan.bank_replicas == 3
+        assert last_group <= set(scheduler.free_banks)
+        assert sorted(scheduler.free_banks) == scheduler.free_banks
+
+    def test_grow_shrink_roundtrip_restores_pool(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=2)
+        free_before = sorted(scheduler.free_banks)
+        scheduler.grow("MLP-S", 2)
+        scheduler.shrink("MLP-S", 2)
+        assert sorted(scheduler.free_banks) == free_before
+        assert len(scheduler.free_banks) == len(set(scheduler.free_banks))
+
+    def test_grow_beyond_pool_rejected_without_corruption(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=60)
+        free_before = list(scheduler.free_banks)
+        with pytest.raises(MappingError):
+            scheduler.grow("MLP-S", 60)
+        assert scheduler.free_banks == free_before
+        assert scheduler.deployments["MLP-S"].replicas == 60
+
+    def test_shrink_to_zero_rejected(self):
+        scheduler = BankScheduler()
+        dep = scheduler.deploy(
+            get_workload("MLP-S").topology(), max_replicas=2
+        )
+        with pytest.raises(MappingError):
+            scheduler.shrink("MLP-S", 2)
+        assert dep.replicas == 2
+
+    def test_unknown_and_invalid_counts_rejected(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=2)
+        with pytest.raises(MappingError):
+            scheduler.grow("nope")
+        with pytest.raises(MappingError):
+            scheduler.shrink("nope")
+        with pytest.raises(MappingError):
+            scheduler.grow("MLP-S", 0)
+        with pytest.raises(MappingError):
+            scheduler.shrink("MLP-S", 0)
+
+
+class TestLifecycleEdges:
+    """Regression: lifecycle misuse must fail loudly, never corrupt
+    the free-bank list."""
+
+    def test_release_unknown_leaves_pool_intact(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=4)
+        free_before = list(scheduler.free_banks)
+        resident_before = scheduler.resident
+        with pytest.raises(MappingError, match="no deployment"):
+            scheduler.release("ghost")
+        assert scheduler.free_banks == free_before
+        assert scheduler.resident == resident_before
+
+    def test_double_release_raises_without_double_free(self):
+        scheduler = BankScheduler()
+        scheduler.deploy(get_workload("MLP-S").topology(), max_replicas=4)
+        scheduler.release("MLP-S")
+        free_after_first = list(scheduler.free_banks)
+        with pytest.raises(MappingError):
+            scheduler.release("MLP-S")
+        # A buggy double-release would re-extend the free list.
+        assert scheduler.free_banks == free_after_first
+        assert len(scheduler.free_banks) == len(set(scheduler.free_banks))
+
+    def test_pool_never_exceeds_total_after_churn(self):
+        scheduler = BankScheduler()
+        total = scheduler.config.organization.total_banks
+        for round_ in range(3):
+            scheduler.deploy(
+                get_workload("MLP-S").topology(), max_replicas=4
+            )
+            scheduler.grow("MLP-S", 2)
+            scheduler.shrink("MLP-S", 3)
+            scheduler.release("MLP-S")
+            assert len(scheduler.free_banks) == total
+            assert scheduler.free_banks == list(range(total))
+
+
 class TestCoSchedule:
     def test_two_networks_share_the_memory(self):
         scheduler = co_schedule(

@@ -1,0 +1,111 @@
+"""Open-loop arrival processes: determinism, shapes, thinning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.arrivals import ArrivalProcess, TrafficShape
+
+pytestmark = pytest.mark.serve
+
+
+class TestTrafficShape:
+    def test_constant_factor_and_peak(self):
+        shape = TrafficShape.constant()
+        t = np.linspace(0, 10, 50)
+        assert np.array_equal(shape.factor(t), np.ones(50))
+        assert shape.peak == 1.0
+
+    def test_burst_square_wave(self):
+        shape = TrafficShape.burst(
+            factor=5.0, period_s=1.0, burst_len_s=0.25
+        )
+        assert shape.factor(np.array([0.1]))[0] == 5.0
+        assert shape.factor(np.array([0.5]))[0] == 1.0
+        assert shape.factor(np.array([1.1]))[0] == 5.0  # periodic
+        assert shape.peak == 5.0
+
+    def test_diurnal_bounds(self):
+        shape = TrafficShape.diurnal(amplitude=0.5, period_s=10.0)
+        t = np.linspace(0, 20, 400)
+        f = shape.factor(t)
+        assert np.all(f >= 0.5 - 1e-12)
+        assert np.all(f <= shape.peak + 1e-12)
+        assert shape.peak == 1.5
+
+    def test_spike_window(self):
+        shape = TrafficShape.spike(at_s=2.0, len_s=0.5, factor=10.0)
+        assert shape.factor(np.array([1.9]))[0] == 1.0
+        assert shape.factor(np.array([2.1]))[0] == 10.0
+        assert shape.factor(np.array([2.6]))[0] == 1.0
+        assert shape.peak == 10.0
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficShape.burst(factor=-1.0, period_s=1.0, burst_len_s=0.1)
+        with pytest.raises(ConfigurationError):
+            TrafficShape.burst(factor=2.0, period_s=1.0, burst_len_s=2.0)
+        with pytest.raises(ConfigurationError):
+            TrafficShape.diurnal(amplitude=1.5, period_s=1.0)
+        with pytest.raises(ConfigurationError):
+            TrafficShape.spike(at_s=0.0, len_s=-1.0, factor=2.0)
+
+
+class TestArrivalProcess:
+    def test_deterministic_from_seed(self):
+        a = ArrivalProcess(500.0, seed=42).times(200)
+        b = ArrivalProcess(500.0, seed=42).times(200)
+        assert np.array_equal(a, b)
+        c = ArrivalProcess(500.0, seed=43).times(200)
+        assert not np.array_equal(a, c)
+
+    def test_prefix_property(self):
+        """times(n) must be a prefix of times(m) for n <= m — the
+        pipelined/synchronous comparison replays the same trace."""
+        process = ArrivalProcess(
+            1000.0,
+            TrafficShape.burst(4.0, period_s=0.05, burst_len_s=0.01),
+            seed=7,
+        )
+        short = process.times(100)
+        long = process.times(700)
+        assert np.array_equal(short, long[:100])
+
+    def test_strictly_increasing(self):
+        times = ArrivalProcess(2000.0, seed=3).times(500)
+        assert np.all(np.diff(times) > 0)
+
+    def test_mean_rate_matches(self):
+        rate = 1000.0
+        times = ArrivalProcess(rate, seed=0).times(5000)
+        measured = 5000 / times[-1]
+        assert measured == pytest.approx(rate, rel=0.1)
+
+    def test_thinning_concentrates_bursts(self):
+        shape = TrafficShape.burst(
+            factor=10.0, period_s=1.0, burst_len_s=0.1
+        )
+        times = ArrivalProcess(100.0, shape, seed=1).times(2000)
+        in_burst = np.mod(times, 1.0) < 0.1
+        # 10x rate over 10% of the time ≈ half of all arrivals.
+        assert 0.35 < in_burst.mean() < 0.65
+
+    def test_until_horizon(self):
+        process = ArrivalProcess(300.0, seed=9)
+        times = process.until(2.0)
+        assert np.all(times < 2.0)
+        assert len(times) > 0
+        # consistent with times(): same prefix
+        assert np.array_equal(times, process.times(len(times)))
+        assert len(process.until(0.0)) == 0
+
+    def test_start_offset(self):
+        times = ArrivalProcess(100.0, seed=4, start_s=5.0).times(50)
+        assert times[0] >= 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(0.0)
+        with pytest.raises(ConfigurationError):
+            ArrivalProcess(10.0).times(-1)
+        assert len(ArrivalProcess(10.0).times(0)) == 0

@@ -93,6 +93,112 @@ class TestBatchingPolicy:
         assert batcher.next_batch(flush=True) is None
 
 
+class TestTimeoutPaths:
+    """max_wait expiry, empty-queue flush, degenerate batch sizes."""
+
+    def test_max_wait_expiry_ships_partial_with_lifecycle_stamps(self):
+        batcher, clock = _batcher(max_batch=8, max_wait_s=0.5)
+        clock.now = 1.0
+        first = batcher.submit(np.zeros(2))
+        clock.now = 1.2
+        second = batcher.submit(np.ones(2))
+        # Oldest has waited 0.2 s < max_wait: nothing ships.
+        assert batcher.next_batch() is None
+        assert first.t_batched is None
+        # Exactly at expiry the partial batch ships — both requests,
+        # stamped with the same formation time.
+        clock.now = 1.5
+        batch = batcher.next_batch()
+        assert [r.req_id for r in batch] == [0, 1]
+        assert first.t_batched == second.t_batched == 1.5
+        assert first.t_enqueue == 1.0 and second.t_enqueue == 1.2
+        # Not yet dispatched or done.
+        assert first.t_dispatched is None and first.t_done is None
+
+    def test_expiry_boundary_is_inclusive(self):
+        batcher, clock = _batcher(max_batch=8, max_wait_s=1.0)
+        batcher.submit(np.zeros(2))
+        clock.now = 1.0 - 1e-9
+        assert not batcher.ready()
+        clock.now = 1.0
+        assert batcher.ready()
+
+    def test_flush_on_empty_queue_is_a_noop(self):
+        batcher, clock = _batcher()
+        assert batcher.next_batch(flush=True) is None
+        assert list(batcher.drain()) == []
+        # ... also after the queue emptied once.
+        batcher.submit(np.zeros(2))
+        assert len(batcher.next_batch(flush=True)) == 1
+        assert batcher.next_batch(flush=True) is None
+        clock.now = 1e9
+        assert not batcher.ready()
+
+    def test_max_batch_one_ships_every_request_alone(self):
+        batcher, _ = _batcher(max_batch=1, max_wait_s=100.0)
+        for i in range(3):
+            batcher.submit(np.full(2, i))
+            assert batcher.ready()  # full batch, no waiting
+        batches = list(batcher.drain())
+        assert [len(b) for b in batches] == [1, 1, 1]
+
+    def test_zero_wait_ships_immediately(self):
+        batcher, _ = _batcher(max_batch=8, max_wait_s=0.0)
+        batcher.submit(np.zeros(2))
+        assert batcher.ready()
+        assert len(batcher.next_batch()) == 1
+
+
+class TestDropStale:
+    def test_drops_only_requests_past_deadline(self):
+        batcher, clock = _batcher(max_batch=8, max_wait_s=100.0)
+        clock.now = 0.0
+        old = batcher.submit(np.zeros(2))
+        clock.now = 0.9
+        fresh = batcher.submit(np.ones(2))
+        clock.now = 1.01
+        dropped = batcher.drop_stale(1.0)
+        assert dropped == [old]
+        assert batcher.queue_depth == 1
+        assert old.result is None and not old.done
+        batch = batcher.next_batch(flush=True)
+        assert batch == [fresh]
+
+    def test_nothing_stale_is_a_noop(self):
+        batcher, clock = _batcher(max_batch=8, max_wait_s=100.0)
+        batcher.submit(np.zeros(2))
+        assert batcher.drop_stale(10.0) == []
+        assert batcher.queue_depth == 1
+        assert batcher.drop_stale(10.0, now=5.0) == []
+
+    def test_negative_deadline_rejected(self):
+        batcher, _ = _batcher()
+        with pytest.raises(ConfigurationError):
+            batcher.drop_stale(-1.0)
+
+    def test_shed_counter_carries_reason_and_tenant(self):
+        telemetry.enable()
+        clock = FakeClock()
+        batcher = MicroBatcher(
+            4, max_wait_s=100.0, clock=clock, tenant="drop-t"
+        )
+        for _ in range(3):
+            batcher.submit(np.zeros(2))
+        clock.now = 2.0
+        dropped = batcher.drop_stale(1.0)
+        assert len(dropped) == 3
+        assert (
+            telemetry.session().metrics.counter_value(
+                "serve.shed", reason="deadline", tenant="drop-t"
+            )
+            == 3
+        )
+        assert (
+            telemetry.gauge_value("serve.queue_depth", tenant="drop-t")
+            == 0
+        )
+
+
 class TestTelemetry:
     def test_counters_and_batch_size_histogram(self):
         telemetry.enable()
