@@ -230,6 +230,34 @@ class CellArray:
             return None
         return self._verify_and_retry(mask, verify)
 
+    def apply_drift(
+        self, magnitude: float, rng: np.random.Generator
+    ) -> None:
+        """Decay stored conductances toward the HRS state.
+
+        Models retention drift between refreshes: every cell's
+        conductance relaxes multiplicatively toward ``g_off`` by a
+        seeded random fraction around ``magnitude`` (cells drift at
+        slightly different rates).  The programmed levels are *not*
+        changed — re-running :meth:`program_levels` with the stored
+        levels restores the array exactly, which is how the serving
+        layer's drift-triggered reprogramming recovers accuracy.
+        """
+        if magnitude <= 0:
+            raise DeviceError("drift magnitude must be > 0")
+        g_off = self.device.g_off
+        rate = magnitude * np.abs(
+            1.0 + 0.25 * rng.standard_normal(self._conductance.shape)
+        )
+        self._conductance = g_off + (self._conductance - g_off) * np.exp(
+            -rate
+        )
+        self._pristine = False
+        if self.fault_map is not None:
+            self._conductance = self.fault_map.apply(
+                self._conductance, self.device
+            )
+
     # -- reading -----------------------------------------------------
 
     @property

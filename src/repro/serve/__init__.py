@@ -31,6 +31,11 @@ compile/program/run pipeline into a resident service:
   tenants over one shared bank pool, pipelined non-blocking polling
   across deployments, per-tenant admission control (queue-depth and
   deadline shedding), and the open-loop saturation reports.
+* :mod:`repro.serve.health` — fault tolerance: per-batch deadlines
+  with deterministic bounded retry, replica health monitoring with
+  quarantine/restart (:class:`ReplicaHealthMonitor`), drift-triggered
+  background reprogramming, and the seeded chaos harness
+  (:class:`FaultPlan`) the fault-injection suite drives.
 
 Every request carries a trace context (deterministic trace id, tenant
 label, arrival time) and its lifecycle is recorded as
@@ -69,8 +74,18 @@ from repro.serve.dispatcher import (
     WorkerSpec,
     batch_noise_seed,
     make_dispatcher,
+    pool_timeout_s,
     program_state,
     run_programmed,
+)
+from repro.serve.health import (
+    FaultEvent,
+    FaultPlan,
+    HealthPolicy,
+    ReplicaHealthMonitor,
+    ReprogramEvent,
+    RestartEvent,
+    WorkerCrash,
 )
 from repro.serve.loadgen import LoadGenerator, LoadReport
 from repro.serve.runtime import ServeConfig, ServingRuntime
@@ -82,8 +97,14 @@ __all__ = [
     "AutoscalerPolicy",
     "ClusterReport",
     "DEFAULT_MAX_WAIT_S",
+    "FaultEvent",
+    "FaultPlan",
+    "HealthPolicy",
     "LoadGenerator",
     "LoadReport",
+    "ReplicaHealthMonitor",
+    "ReprogramEvent",
+    "RestartEvent",
     "ScaleEvent",
     "ServingCluster",
     "TenantReport",
@@ -95,9 +116,11 @@ __all__ = [
     "ServeConfig",
     "ServeRequest",
     "ServingRuntime",
+    "WorkerCrash",
     "WorkerSpec",
     "batch_noise_seed",
     "make_dispatcher",
+    "pool_timeout_s",
     "program_state",
     "run_programmed",
 ]

@@ -102,6 +102,9 @@ class Autoscaler:
     shared scheduler); this class only decides the *desired* count.
     """
 
+    #: EMA smoothing for the observed replica-restart cost.
+    RESTART_EMA_ALPHA = 0.5
+
     def __init__(
         self,
         runtime,
@@ -113,7 +116,34 @@ class Autoscaler:
         self.clock = clock
         self._arrivals: deque[float] = deque()
         self._last_action_s = -float("inf")
+        self._last_restart_s = -float("inf")
+        #: EMA of measured replica restart cost (wall seconds); the
+        #: shrink-hysteresis horizon below.
+        self._reprogram_ema_s = 0.0
         self.events: list[ScaleEvent] = []
+
+    # -- fault-tolerance feedback ---------------------------------------
+
+    def note_restart(
+        self, cost_s: float, now: float | None = None
+    ) -> None:
+        """Record one replica restart and its measured reprogram cost.
+
+        Fed by the cluster loop from ``ServingRuntime.restarts``.  A
+        fleet that is actively crash-recovering should not also shrink:
+        a shrink freed banks would likely be re-grown (another full
+        ``program_state``) moments later, so :meth:`step` holds
+        shrinks for ``cooldown_s`` plus the restart-cost EMA after the
+        last restart.
+        """
+        now = self.clock() if now is None else now
+        if self._reprogram_ema_s == 0.0:
+            self._reprogram_ema_s = cost_s
+        else:
+            self._reprogram_ema_s += self.RESTART_EMA_ALPHA * (
+                cost_s - self._reprogram_ema_s
+            )
+        self._last_restart_s = now
 
     # -- observation ----------------------------------------------------
 
@@ -176,6 +206,13 @@ class Autoscaler:
         if max_replicas is not None:
             want = min(want, max(max_replicas, current))
         if want == current:
+            return None
+        if want < current and now - self._last_restart_s < (
+            self.policy.cooldown_s + self._reprogram_ema_s
+        ):
+            # Restart hysteresis: the fleet just paid a crash-recovery
+            # reprogram; hold shrinks for a restart-cost-sized horizon
+            # so freed banks are not re-programmed moments later.
             return None
         cost = self.runtime.scale_to(want)
         self._last_action_s = now

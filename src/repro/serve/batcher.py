@@ -52,6 +52,11 @@ class ServeRequest:
     t_dispatched: float | None = None
     t_done: float | None = None
     result: np.ndarray | None = field(default=None, repr=False)
+    #: Recorded shed reason when the request's micro-batch exhausted
+    #: its dispatch retries under ``HealthPolicy(on_exhausted="shed")``
+    #: — the request never completes (``t_done`` stays ``None``), but
+    #: its loss is explicit, never silent.
+    error: str | None = None
 
     @property
     def trace(self) -> TraceContext:

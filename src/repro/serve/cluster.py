@@ -50,6 +50,7 @@ from repro.serve.autoscaler import (
     ScaleEvent,
 )
 from repro.serve.batcher import ServeRequest
+from repro.serve.health import FaultPlan, HealthPolicy
 from repro.serve.runtime import ServeConfig, ServingRuntime
 from repro.telemetry.metrics import nearest_rank
 
@@ -108,6 +109,11 @@ class TenantSpec:
     admission: AdmissionPolicy | None = None
     autoscaler: AutoscalerPolicy | None = None
     calibration: np.ndarray | None = None
+    #: Fault-tolerance policy (``None`` = runtime defaults: crash
+    #: recovery on, probes off).
+    health: HealthPolicy | None = None
+    #: Seeded chaos schedule for this tenant's runtime (tests only).
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass(frozen=True)
@@ -132,6 +138,14 @@ class TenantReport:
     #: Fraction of replica-time the grant spent idle: 1 minus the
     #: worker-measured execute time over integrated replica-seconds.
     replica_idle_fraction: float
+    #: Admitted requests whose micro-batch exhausted its dispatch
+    #: retries (shed with ``request.error`` set — a recorded loss,
+    #: never a silent one).
+    shed_failed: int = 0
+    #: Replica restarts executed during the run (crash recovery).
+    replica_restarts: int = 0
+    #: Drift-triggered background reprogrammings during the run.
+    reprograms: int = 0
     scale_events: tuple[ScaleEvent, ...] = ()
     #: Completed requests, in admission order (for bit-identity
     #: checks against ``ServingRuntime.reference``).
@@ -139,7 +153,7 @@ class TenantReport:
 
     @property
     def shed(self) -> int:
-        return self.shed_queue + self.shed_deadline
+        return self.shed_queue + self.shed_deadline + self.shed_failed
 
     @property
     def shed_rate(self) -> float:
@@ -154,13 +168,20 @@ class TenantReport:
         scale = "".join(
             f" {e.direction}->{e.to_replicas}" for e in self.scale_events
         )
+        faults = ""
+        if self.replica_restarts or self.reprograms or self.shed_failed:
+            faults = (
+                f", {self.replica_restarts} restart(s) "
+                f"{self.reprograms} reprogram(s) "
+                f"{self.shed_failed} failed"
+            )
         return (
             f"{self.tenant}: offered {self.offered}, goodput "
             f"{self.goodput_rps:,.0f} req/s, shed {self.shed_rate:.1%} "
             f"(queue {self.shed_queue}, deadline {self.shed_deadline}), "
             f"p99={self.p99_ms:.2f} ms p99.9={self.p999_ms:.2f} ms, "
             f"idle {self.replica_idle_fraction:.1%} over "
-            f"{self.replicas_final} replica(s){scale}"
+            f"{self.replicas_final} replica(s){scale}{faults}"
         )
 
 
@@ -222,6 +243,13 @@ class _TenantState:
         self.completed = 0
         self.busy_ns_base = 0
         self.replica_seconds = 0.0
+        #: Run-start baselines for the runtime's cumulative
+        #: fault-recovery tallies (reports show per-run deltas).
+        self.shed_failed_base = 0
+        self.restarts_base = 0
+        self.reprograms_base = 0
+        #: Restart events already fed to the autoscaler.
+        self.restarts_seen = 0
 
     def next_sample(self) -> np.ndarray:
         x = self.spec.samples[
@@ -279,6 +307,8 @@ class ServingCluster:
                     max_replicas=spec.replicas,
                     calibration=spec.calibration,
                     clock=clock,
+                    health=spec.health,
+                    fault_plan=spec.fault_plan,
                 )
                 autoscaler = (
                     Autoscaler(runtime, spec.autoscaler, clock=self.clock)
@@ -363,6 +393,10 @@ class ServingCluster:
             state.completed = 0
             state.busy_ns_base = state.runtime.busy_ns
             state.replica_seconds = 0.0
+            state.shed_failed_base = state.runtime.shed_failed
+            state.restarts_base = len(state.runtime.restarts)
+            state.reprograms_base = len(state.runtime.reprograms)
+            state.restarts_seen = len(state.runtime.restarts)
         mode = "pipelined" if self.pipelined else "synchronous"
         with telemetry.span(
             "serve.cluster",
@@ -436,6 +470,14 @@ class ServingCluster:
             done = runtime.pump(flush=flush)
         state.completed += done
         progress |= done > 0
+        # Feed executed restarts (and their measured reprogram cost)
+        # to the autoscaler: crash recovery holds shrinks for a
+        # restart-cost-sized horizon (Autoscaler.note_restart).
+        if state.autoscaler is not None:
+            while state.restarts_seen < len(runtime.restarts):
+                event = runtime.restarts[state.restarts_seen]
+                state.restarts_seen += 1
+                state.autoscaler.note_restart(event.cost_s, now=now)
         # 4. Let the autoscaler react, clamped to what the shared
         #    free-bank pool can actually host right now.  Gate on
         #    outstanding work rather than future arrivals: a saturating
@@ -488,6 +530,15 @@ class ServingCluster:
                 replicas_final=runtime.replicas,
                 mode=runtime.mode,
                 replica_idle_fraction=idle,
+                shed_failed=(
+                    runtime.shed_failed - state.shed_failed_base
+                ),
+                replica_restarts=(
+                    len(runtime.restarts) - state.restarts_base
+                ),
+                reprograms=(
+                    len(runtime.reprograms) - state.reprograms_base
+                ),
                 scale_events=events,
                 requests=tuple(r for r in state.requests if r.done),
             )

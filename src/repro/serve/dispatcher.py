@@ -39,6 +39,7 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import signal
 import time
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
@@ -59,15 +60,18 @@ from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig
 from repro.perf.parallel import ParallelFallbackWarning, task_seed
 from repro.resilience.policy import ResiliencePolicy
+from repro.serve.health import WorkerCrash, apply_drift
 from repro.telemetry.shipping import ResultEnvelope, run_scoped
 
 __all__ = [
     "WorkerSpec",
     "ShmRef",
     "shm_enabled",
+    "pool_timeout_s",
     "batch_noise_seed",
     "program_state",
     "run_programmed",
+    "reprogram_state",
     "SerialDispatcher",
     "ProcessDispatcher",
     "make_dispatcher",
@@ -75,9 +79,36 @@ __all__ = [
 
 logger = logging.getLogger("repro.serve")
 
-#: Seconds to wait for the first pool worker to program its replica
-#: before declaring process mode unavailable.
-_POOL_PROBE_TIMEOUT_S = 300.0
+#: Default seconds to wait for a pool worker to program its replica
+#: before declaring it dead (``PRIME_POOL_TIMEOUT_S`` overrides).
+_POOL_TIMEOUT_DEFAULT_S = 300.0
+
+
+def pool_timeout_s() -> float:
+    """Pool worker probe/initialise timeout (``PRIME_POOL_TIMEOUT_S``).
+
+    Bounds how long the coordinator waits for a worker to program its
+    replica (spawn, restart) or answer a control call (drift probe,
+    reprogram).  Bad values log a warning and keep the default rather
+    than raising at deploy time, mirroring the other ``PRIME_*`` knobs.
+    """
+    env = os.environ.get("PRIME_POOL_TIMEOUT_S", "").strip()
+    if not env:
+        return _POOL_TIMEOUT_DEFAULT_S
+    try:
+        value = float(env)
+    except ValueError:
+        value = 0.0
+    if value <= 0.0 or not np.isfinite(value):
+        logger.warning(
+            "PRIME_POOL_TIMEOUT_S must be a positive number, got %r; "
+            "keeping the default (%gs)",
+            env,
+            _POOL_TIMEOUT_DEFAULT_S,
+        )
+        telemetry.count("perf.env.invalid", knob="PRIME_POOL_TIMEOUT_S")
+        return _POOL_TIMEOUT_DEFAULT_S
+    return value
 #: Shared-memory slots per replica slab — the inflight micro-batch
 #: depth one replica's slab can hold before dispatch falls back to
 #: pickling (the runtime keeps at most a handful of batches inflight
@@ -136,6 +167,15 @@ class _SlabPool:
     input) plus ``out_bytes`` (result) — a slot is held from dispatch
     until the batch's future resolves, so slab memory is bounded by the
     inflight depth, not the request count.
+
+    Every slab carries a **generation counter** bumped by
+    :meth:`reclaim_replica` (the replica-restart path): an acquire key
+    embeds the generation it was issued under, and a release with a
+    stale generation is ignored.  That makes slot recovery after a
+    crashed or hung replica safe — reclaim returns every held slot to
+    the free list, and whatever late release the abandoned futures
+    would eventually issue cannot double-free a slot the restarted
+    replica has since re-acquired.
     """
 
     def __init__(
@@ -152,6 +192,7 @@ class _SlabPool:
         self.slabs: list[SharedMemory] = []
         self._by_name: dict[str, SharedMemory] = {}
         self._free: list[list[int]] = []
+        self._gen: list[int] = []
         self._next = 0
         for _ in range(replicas):
             self.add_replica()
@@ -162,6 +203,7 @@ class _SlabPool:
         self.slabs.append(shm)
         self._by_name[shm.name] = shm
         self._free.append(list(range(self.slots)))
+        self._gen.append(0)
 
     def remove_replica(self) -> None:
         """Release the last replica slab (autoscaler shrink path).
@@ -175,6 +217,7 @@ class _SlabPool:
             )
         shm = self.slabs.pop()
         self._free.pop()
+        self._gen.pop()
         del self._by_name[shm.name]
         shm.close()
         try:
@@ -182,10 +225,30 @@ class _SlabPool:
         except FileNotFoundError:
             pass
 
+    def reclaim_replica(self, replica: int) -> int:
+        """Return every held slot of a replica's slab to the free list.
+
+        The replica-restart path: the worker holding those slots has
+        been killed, so nothing will write into them again.  Bumps the
+        slab's generation so late releases from the abandoned futures
+        are ignored.  Returns the number of slots recovered.
+        """
+        i = replica % len(self.slabs)
+        recovered = self.slots - len(self._free[i])
+        self._gen[i] += 1
+        self._free[i] = list(range(self.slots))
+        return recovered
+
+    @property
+    def held_slots(self) -> int:
+        """Slots currently held by inflight batches (accounting)."""
+        return sum(self.slots - len(free) for free in self._free)
+
     def acquire(
         self, replica: int | None = None
-    ) -> tuple[int, int] | None:
-        """A free ``(slab, slot)``; ``None`` when none is available.
+    ) -> tuple[int, int, int] | None:
+        """A free ``(slab, slot, generation)``; ``None`` when none is
+        available.
 
         With ``replica`` given the slot is pinned to that replica's
         slab (the per-replica worker pool executes straight off its own
@@ -196,21 +259,26 @@ class _SlabPool:
         if replica is not None:
             i = replica % n
             if self._free[i]:
-                return i, self._free[i].pop()
+                return i, self._free[i].pop(), self._gen[i]
             return None
         start = self._next
         self._next = (start + 1) % n
         for k in range(n):
             i = (start + k) % n
             if self._free[i]:
-                return i, self._free[i].pop()
+                return i, self._free[i].pop(), self._gen[i]
         return None
 
-    def release(self, slab: int, slot: int) -> None:
-        self._free[slab].append(slot)
+    def release(self, slab: int, slot: int, gen: int = -1) -> None:
+        if 0 <= slab < len(self.slabs):
+            if gen >= 0 and gen != self._gen[slab]:
+                # Stale release from before a reclaim: the slot already
+                # went back to the free list (and may be held again).
+                return
+            self._free[slab].append(slot)
 
     def stage(
-        self, key: tuple[int, int], batch: np.ndarray
+        self, key: tuple[int, int, int], batch: np.ndarray
     ) -> tuple[ShmRef, _ResultSlot]:
         """Copy ``batch`` into the slot's input region.
 
@@ -218,7 +286,7 @@ class _SlabPool:
         writes back into — the only per-batch copies left are this one
         and the coordinator-side result materialisation.
         """
-        slab, slot = key
+        slab, slot = key[0], key[1]
         shm = self.slabs[slab]
         base = slot * self.slot_bytes
         view = np.ndarray(
@@ -282,6 +350,11 @@ class WorkerSpec:
     #: unchanged — pacing only ever sleeps after the values are
     #: computed.
     pace_batch_s: float | None = None
+    #: Capture the calibration batch's noise-free outputs at program
+    #: time as the drift-probe reference.  Set by the runtime when the
+    #: health policy enables periodic probing; off by default so the
+    #: fault-free path does no extra work.
+    probe_reference: bool = False
 
     @property
     def use_rng(self) -> bool:
@@ -344,6 +417,79 @@ def program_state(
     return executor, programmed
 
 
+def capture_reference(
+    spec: WorkerSpec,
+    executor: PrimeExecutor,
+    programmed: list[ProgrammedLayer],
+) -> np.ndarray | None:
+    """The calibration batch's noise-free outputs (the drift-probe
+    reference), or ``None`` when the spec carries no calibration or
+    probing is off.  Noise-free evaluation samples nothing, so the
+    capture never perturbs the programmed RNG state."""
+    if not spec.probe_reference or spec.calibration is None:
+        return None
+    return executor.run_functional(
+        spec.network,
+        spec.plan,
+        spec.calibration,
+        programmed=programmed,
+        with_noise=False,
+    )
+
+
+def drift_distance(
+    spec: WorkerSpec,
+    executor: PrimeExecutor,
+    programmed: list[ProgrammedLayer],
+    reference: np.ndarray | None,
+) -> float:
+    """Relative L2 distance of the calibration outputs from the
+    program-time reference — the health probe's drift metric."""
+    if reference is None or spec.calibration is None:
+        return 0.0
+    out = executor.run_functional(
+        spec.network,
+        spec.plan,
+        spec.calibration,
+        programmed=programmed,
+        with_noise=False,
+    )
+    denom = float(np.linalg.norm(reference)) or 1.0
+    return float(np.linalg.norm(out - reference)) / denom
+
+
+def reprogram_state(
+    spec: WorkerSpec, programmed: list[ProgrammedLayer]
+) -> None:
+    """Re-program every engine array to its stored MLC levels.
+
+    The drift-recovery step: retention drift decays conductances but
+    never the programmed *levels*, so rewriting each
+    :class:`~repro.device.cell.CellArray` from its own levels (through
+    the spec's program-and-verify policy when one is active) restores
+    the deploy-time state — exactly, in the noise-free regime.  The
+    fused-kernel caches are invalidated afterwards so the recovered
+    conductances reach subsequent evaluations.
+    """
+    policy = (
+        spec.resilience
+        if spec.resilience is not None
+        else spec.config.resilience
+    )
+    verify = policy if policy.verify_writes else None
+    for layer in programmed:
+        for row in layer.tiles:
+            for engine in row:
+                for array in (
+                    engine.pair.positive,
+                    engine.pair.negative,
+                ):
+                    array.cells.program_levels(
+                        array.cells.levels, verify=verify
+                    )
+        layer.kernel.invalidate()
+
+
 def run_programmed(
     spec: WorkerSpec,
     executor: PrimeExecutor,
@@ -400,6 +546,38 @@ def _worker_view(ref: ShmRef) -> np.ndarray:
 #: telemetry stays a pure function of the batches served — the
 #: serial-vs-process determinism contract.
 _WORKER_INIT_DELTA = None
+#: Program-time calibration outputs (the drift-probe reference);
+#: ``None`` unless the spec enables ``probe_reference``.
+_WORKER_CAL_REF: np.ndarray | None = None
+
+
+def _apply_fault(
+    fault: tuple | None,
+    programmed: list[ProgrammedLayer],
+    before: bool,
+) -> int:
+    """Execute a chaos-harness fault payload in a pool worker.
+
+    ``before`` selects the pre-compute phase (kill, hang) vs the
+    post-compute phase (slow, drift).  Returns extra nanoseconds to
+    fold into the envelope's reported execution time (slow faults).
+    """
+    if fault is None:
+        return 0
+    kind = fault[0]
+    if before:
+        if kind == "kill":
+            # Die the way a segfaulted worker would: no unwinding, no
+            # result — the coordinator sees BrokenProcessPool.
+            os._exit(17)
+        if kind == "hang":
+            time.sleep(fault[1])
+        return 0
+    if kind == "slow":
+        return int(fault[1] * 1e9)
+    if kind == "drift":
+        apply_drift(programmed, fault[1], fault[2])
+    return 0
 
 
 def _serve_batch(
@@ -440,7 +618,7 @@ def _serve_batch(
 
 
 def _pool_init(payload: bytes) -> None:
-    global _WORKER_STATE, _WORKER_INIT_DELTA
+    global _WORKER_STATE, _WORKER_INIT_DELTA, _WORKER_CAL_REF
     spec = pickle.loads(payload)
     if spec.ship_telemetry:
         state, delta, _ = run_scoped(program_state, spec)
@@ -448,12 +626,13 @@ def _pool_init(payload: bytes) -> None:
     else:
         state = program_state(spec)
     _WORKER_STATE = (spec,) + state
+    _WORKER_CAL_REF = capture_reference(spec, *state)
 
 
 def _pool_run(args: tuple) -> ResultEnvelope:
     global _WORKER_INIT_DELTA
-    batch, noise_seed, ship, result_slot = (
-        args if len(args) == 4 else (*args, None)
+    batch, noise_seed, ship, result_slot, fault = (
+        args + (None,) * (5 - len(args))
     )
     if isinstance(batch, ShmRef):
         # Zero-copy input: execute straight off the slab view (the
@@ -461,6 +640,7 @@ def _pool_run(args: tuple) -> ResultEnvelope:
         # resolves, so the region cannot be rewritten underneath us).
         batch = _worker_view(batch)
     spec, executor, programmed = _WORKER_STATE
+    _apply_fault(fault, programmed, before=True)
     envelope = _serve_batch(
         spec,
         executor,
@@ -470,6 +650,7 @@ def _pool_run(args: tuple) -> ResultEnvelope:
         ship,
         init_delta=_WORKER_INIT_DELTA if ship else None,
     )
+    envelope.execute_ns += _apply_fault(fault, programmed, before=False)
     if ship:
         _WORKER_INIT_DELTA = None
     result = envelope.value
@@ -494,8 +675,30 @@ def _pool_run(args: tuple) -> ResultEnvelope:
     return envelope
 
 
-def _pool_ping() -> bool:
-    return _WORKER_STATE is not None
+def _pool_ping() -> int:
+    """Worker pid when programmed, 0 otherwise (truthiness = liveness).
+
+    The coordinator records the pid so a hung worker — one sleeping
+    inside a batch, which ``shutdown(wait=False)`` cannot interrupt —
+    can be SIGKILLed before its slab slots are reclaimed.
+    """
+    return os.getpid() if _WORKER_STATE is not None else 0
+
+
+def _pool_drift_probe() -> float:
+    """Health probe: relative distance of the calibration outputs from
+    the program-time reference (0.0 when probing is not configured)."""
+    spec, executor, programmed = _WORKER_STATE
+    return drift_distance(spec, executor, programmed, _WORKER_CAL_REF)
+
+
+def _pool_reprogram() -> float:
+    """Re-program this worker's replica in place; returns the measured
+    worker-side wall seconds (the background reprogramming cost)."""
+    spec, executor, programmed = _WORKER_STATE
+    start = time.perf_counter()
+    reprogram_state(spec, programmed)
+    return time.perf_counter() - start
 
 
 class SerialDispatcher:
@@ -523,18 +726,27 @@ class SerialDispatcher:
     def __init__(self, spec: WorkerSpec, replicas: int = 1) -> None:
         self.spec = spec
         self.replicas = replicas
-        #: Programmed states, indexed by replica; replicas beyond the
-        #: list share the first (initial-deploy) state.
+        #: Programmed states (executor, programmed, cal_ref), indexed
+        #: by replica; replicas beyond the list share the first
+        #: (initial-deploy) state.
         self._states: list[tuple] = []
         self._init_delta = None
+
+    def _program(self) -> tuple:
+        executor, programmed = program_state(self.spec)
+        return (
+            executor,
+            programmed,
+            capture_reference(self.spec, executor, programmed),
+        )
 
     def _ensure(self, replica: int = 0):
         if not self._states:
             if self.spec.ship_telemetry:
-                state, delta, _ = run_scoped(program_state, self.spec)
+                state, delta, _ = run_scoped(self._program)
                 self._init_delta = None if delta.empty else delta
             else:
-                state = program_state(self.spec)
+                state = self._program()
             self._states.append(state)
         return self._states[min(replica, len(self._states) - 1)]
 
@@ -544,25 +756,65 @@ class SerialDispatcher:
         noise_seed: int | None = None,
         ship: bool = False,
         replica: int | None = None,
+        fault: tuple | None = None,
     ) -> Future:
-        executor, programmed = self._ensure(
+        executor, programmed, _ = self._ensure(
             0 if replica is None else replica % max(self.replicas, 1)
         )
         future: Future = Future()
-        future.set_result(
-            _serve_batch(
-                self.spec,
-                executor,
-                programmed,
-                batch,
-                noise_seed,
-                ship,
-                init_delta=self._init_delta if ship else None,
+        if fault is not None and fault[0] in ("kill", "hang"):
+            # Serial mode cannot lose or stall a worker process — it
+            # *is* the coordinator — so both present as a crash.
+            future.set_exception(
+                WorkerCrash(f"injected {fault[0]} fault")
             )
+            return future
+        envelope = _serve_batch(
+            self.spec,
+            executor,
+            programmed,
+            batch,
+            noise_seed,
+            ship,
+            init_delta=self._init_delta if ship else None,
         )
+        if fault is not None:
+            if fault[0] == "slow":
+                envelope.execute_ns += int(fault[1] * 1e9)
+            elif fault[0] == "drift":
+                apply_drift(programmed, fault[1], fault[2])
+        future.set_result(envelope)
         if ship:
             self._init_delta = None
         return future
+
+    def restart_replica(self, replica: int) -> float:
+        """Re-program a replica's state in place after an injected
+        crash; returns the measured programming wall seconds."""
+        self._ensure()
+        idx = min(replica % max(self.replicas, 1), len(self._states) - 1)
+        start = time.perf_counter()
+        self._states[idx] = self._program()
+        return time.perf_counter() - start
+
+    def probe_replica(self, replica: int) -> Future:
+        """Resolved future holding the replica's drift distance."""
+        executor, programmed, cal_ref = self._ensure(
+            replica % max(self.replicas, 1)
+        )
+        future: Future = Future()
+        future.set_result(
+            drift_distance(self.spec, executor, programmed, cal_ref)
+        )
+        return future
+
+    def reprogram_replica(self, replica: int) -> float:
+        """Re-program a drifted replica's arrays from their stored
+        levels; returns the measured wall seconds."""
+        _, programmed, _ = self._ensure(replica % max(self.replicas, 1))
+        start = time.perf_counter()
+        reprogram_state(self.spec, programmed)
+        return time.perf_counter() - start
 
     def grow(self, replicas: int = 1) -> float:
         """Add replicas, programming one fresh state each; returns the
@@ -570,7 +822,7 @@ class SerialDispatcher:
         self._ensure()
         start = time.perf_counter()
         for _ in range(replicas):
-            self._states.append(program_state(self.spec))
+            self._states.append(self._program())
         self.replicas += replicas
         return time.perf_counter() - start
 
@@ -598,7 +850,10 @@ class _ShmFuture:
     Resolves the pool future, copies the result out of the shared
     slot (workers only hold the slot until then), and releases the
     slot exactly once.  A timeout leaves the slot held — the worker
-    may still be writing into it.
+    may still be writing into it; the recovery path (restart the
+    replica, which kills the worker and reclaims its slab's slots)
+    then calls :meth:`abandon` so this future never frees the slot a
+    second time.
     """
 
     def __init__(self, inner: Future, slabs: _SlabPool, key) -> None:
@@ -629,6 +884,17 @@ class _ShmFuture:
         self._key = None
         self._envelope = envelope
         return envelope
+
+    def abandon(self) -> None:
+        """Detach from the slab slot without releasing it.
+
+        Called after the slot's replica was restarted: the restart
+        already reclaimed (and re-generationed) the slot, so a release
+        from this future would be stale.  Idempotent; a later
+        ``result()`` on an abandoned future returns nothing useful and
+        must not be relied on.
+        """
+        self._key = None
 
     def done(self) -> bool:
         return self._inner.done()
@@ -674,6 +940,7 @@ class ProcessDispatcher:
             pass
         self._payload = pickle.dumps(spec)
         self._pools: list[ProcessPoolExecutor] = []
+        self._pids: list[int] = []
         self._rr = 0
         try:
             self._spawn(replicas)
@@ -722,23 +989,40 @@ class ProcessDispatcher:
         where ``make_dispatcher`` can still fall back to serial, not on
         the first real request.  The ping probes are submitted to every
         new pool before any is awaited, so replica programming
-        overlaps.
+        overlaps.  The new pools only join :attr:`_pools` once every
+        probe has answered — a partial spawn failure shuts the batch of
+        new pools down and leaves the dispatcher exactly as it was, so
+        a later ``grow()`` retry starts clean.
         """
-        pools = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                initializer=_pool_init,
-                initargs=(self._payload,),
-            )
-            for _ in range(n)
-        ]
-        self._pools.extend(pools)
-        probes = [pool.submit(_pool_ping) for pool in pools]
-        for probe in probes:
-            if not probe.result(timeout=_POOL_PROBE_TIMEOUT_S):
-                raise BrokenProcessPool(
-                    "pool worker failed to initialise"
+        pools = []
+        try:
+            pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_pool_init,
+                    initargs=(self._payload,),
                 )
+                for _ in range(n)
+            ]
+            probes = [pool.submit(_pool_ping) for pool in pools]
+            timeout = pool_timeout_s()
+            pids = []
+            for probe in probes:
+                pid = probe.result(timeout=timeout)
+                if not pid:
+                    raise BrokenProcessPool(
+                        "pool worker failed to initialise"
+                    )
+                pids.append(pid)
+        except BaseException:
+            for pool in pools:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            raise
+        self._pools.extend(pools)
+        self._pids.extend(pids)
 
     @property
     def inflight_limit(self) -> int | None:
@@ -759,6 +1043,7 @@ class ProcessDispatcher:
         noise_seed: int | None = None,
         ship: bool = False,
         replica: int | None = None,
+        fault: tuple | None = None,
     ) -> Future:
         if replica is None:
             replica = self._rr
@@ -784,11 +1069,77 @@ class ProcessDispatcher:
                 else:
                     in_ref, result_slot = slabs.stage(key, batch)
                     inner = pool.submit(
-                        _pool_run, (in_ref, noise_seed, ship, result_slot)
+                        _pool_run,
+                        (in_ref, noise_seed, ship, result_slot, fault),
                     )
                     telemetry.count("serve.dispatch.shm_batches")
                     return _ShmFuture(inner, slabs, key)
-        return pool.submit(_pool_run, (batch, noise_seed, ship, None))
+        return pool.submit(
+            _pool_run, (batch, noise_seed, ship, None, fault)
+        )
+
+    def restart_replica(self, replica: int) -> float:
+        """Kill and respawn one replica's worker pool in place.
+
+        The crash/hang recovery path: SIGKILL the worker (a hung worker
+        sleeps through ``shutdown(wait=False)``), retire its pool,
+        reclaim its slab slots (the killed worker can no longer write
+        into them), and bring up a fresh pool that re-programs the
+        replica in its initializer.  Returns the measured wall seconds
+        — kill + fork + one-time ``program_state``.  Raises when the
+        respawn itself fails; the caller retires the replica then.
+        """
+        replica %= len(self._pools)
+        start = time.perf_counter()
+        pid = self._pids[replica]
+        if pid:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+        try:
+            self._pools[replica].shutdown(
+                wait=False, cancel_futures=True
+            )
+        except Exception:  # pragma: no cover - pool already broken
+            pass
+        self._pids[replica] = 0
+        if self._slabs is not None:
+            self._slabs.reclaim_replica(replica)
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_pool_init,
+            initargs=(self._payload,),
+        )
+        try:
+            pid = pool.submit(_pool_ping).result(timeout=pool_timeout_s())
+            if not pid:
+                raise BrokenProcessPool(
+                    "respawned pool worker failed to initialise"
+                )
+        except BaseException:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best effort
+                pass
+            raise
+        self._pools[replica] = pool
+        self._pids[replica] = pid
+        return time.perf_counter() - start
+
+    def probe_replica(self, replica: int) -> Future:
+        """Submit the drift health probe to one replica's worker."""
+        return self._pools[replica % len(self._pools)].submit(
+            _pool_drift_probe
+        )
+
+    def reprogram_replica(self, replica: int) -> float:
+        """Re-program a drifted replica in its worker (blocking);
+        returns the measured worker-side wall seconds."""
+        pool = self._pools[replica % len(self._pools)]
+        return pool.submit(_pool_reprogram).result(
+            timeout=pool_timeout_s()
+        )
 
     def grow(self, replicas: int = 1) -> float:
         """Spawn ``replicas`` more programmed workers (and slabs).
@@ -819,16 +1170,30 @@ class ProcessDispatcher:
             if self._slabs is not None:
                 self._slabs.remove_replica()
             self._pools.pop().shutdown(wait=False, cancel_futures=True)
+            self._pids.pop()
         self._rr %= len(self._pools)
         return 0.0
 
     def close(self) -> None:
+        """Shut every pool down and release the slabs.
+
+        Idempotent and exception-safe: closing twice, or closing after
+        a worker crash left a pool broken, still releases every slab —
+        a broken pool's shutdown can raise, and that must not leak the
+        shared memory the other replicas hold.
+        """
         for pool in self._pools:
-            pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - pool already broken
+                pass
         self._pools = []
+        self._pids = []
         if getattr(self, "_slabs", None) is not None:
-            self._slabs.close()
-            self._slabs = None
+            try:
+                self._slabs.close()
+            finally:
+                self._slabs = None
 
 
 def make_dispatcher(

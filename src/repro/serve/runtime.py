@@ -23,7 +23,12 @@ by its batch index, see :meth:`reference`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,14 +45,55 @@ from repro.serve.batcher import (
     ServeRequest,
 )
 from repro.serve.dispatcher import (
+    SerialDispatcher,
     WorkerSpec,
     batch_noise_seed,
     make_dispatcher,
+    pool_timeout_s,
     program_state,
     run_programmed,
 )
+from repro.serve.health import (
+    FaultPlan,
+    HealthPolicy,
+    ReplicaHealthMonitor,
+    ReprogramEvent,
+    RestartEvent,
+    WorkerCrash,
+)
 
 __all__ = ["ServeConfig", "ServingRuntime"]
+
+logger = logging.getLogger("repro.serve")
+
+
+@dataclass
+class _Inflight:
+    """One dispatched micro-batch awaiting collection.
+
+    Keeps everything a deterministic re-dispatch needs: the stacked
+    payload and the per-batch noise seed (retries reuse both, so a
+    retried result is bit-identical to what the first attempt would
+    have produced), plus the replica/epoch the batch went to and the
+    wall-clock dispatch time its deadline counts from.
+    """
+
+    future: object
+    batch: list = field(repr=False)
+    t_dispatch: float = 0.0
+    payload: np.ndarray = field(default=None, repr=False)
+    noise_seed: int | None = None
+    ship: bool = False
+    replica: int = 0
+    #: Replica restart epoch at dispatch time — a failure only triggers
+    #: a restart when the epoch still matches (the pool it ran on is
+    #: the pool that broke); later failures from the same broken pool
+    #: just re-dispatch.
+    epoch: int = 0
+    attempts: int = 0
+    #: ``time.monotonic()`` at the last (re)dispatch; the per-batch
+    #: deadline counts from here.
+    t_wall: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -93,9 +139,18 @@ class ServingRuntime:
         calibration: np.ndarray | None = None,
         resilience: ResiliencePolicy | None = None,
         clock=None,
+        health: HealthPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config
         self.serve_config = serve_config or ServeConfig()
+        #: Fault-tolerance policy; the defaults give every deployment
+        #: crash recovery and a generous per-batch deadline without
+        #: changing fault-free behaviour.
+        self.health = health or HealthPolicy()
+        #: Chaos-harness schedule (tests/benchmarks only); ``None`` in
+        #: production serving.
+        self.fault_plan = fault_plan
         self.network = network
         self.scheduler = scheduler or BankScheduler(config)
         with telemetry.span("serve.deploy", workload=topology.name):
@@ -131,6 +186,10 @@ class ServingRuntime:
                 calibration=calibration,
                 ship_telemetry=telemetry.enabled(),
                 pace_batch_s=self.serve_config.pace_batch_s,
+                probe_reference=(
+                    self.health.probe_interval_batches is not None
+                    and calibration is not None
+                ),
             )
             # Shared-memory slabs are sized for a full micro-batch of
             # the widest mapped layer, so any batch the batcher can
@@ -149,12 +208,31 @@ class ServingRuntime:
                 slab_shape=(max_batch, widest, widest),
             )
         #: Micro-batches dispatched so far (also the per-batch noise
-        #: stream index).
+        #: stream index and the chaos harness's fault-event index) —
+        #: retries never advance it, so retried batches keep their
+        #: original noise seed.
         self.batches_dispatched = 0
-        #: (future, requests, t_dispatch) triples awaiting collection,
-        #: in dispatch order.
-        self._inflight: list[tuple] = []
+        #: :class:`_Inflight` records awaiting collection, in dispatch
+        #: order.
+        self._inflight: list[_Inflight] = []
         self._drained = 0
+        #: Per-replica health bookkeeping; fresh dispatches only route
+        #: over its healthy set.
+        self.monitor = ReplicaHealthMonitor(
+            max(self.deployment.replicas, 1), self.health
+        )
+        #: Per-replica restart epochs (see :class:`_Inflight`).
+        self._replica_epoch = [0] * max(self.deployment.replicas, 1)
+        #: Executed replica restarts, in order.
+        self.restarts: list[RestartEvent] = []
+        #: Executed drift-triggered reprogrammings, in order.
+        self.reprograms: list[ReprogramEvent] = []
+        #: Requests shed because their batch exhausted its retries
+        #: (``on_exhausted="shed"`` accounting).
+        self.shed_failed = 0
+        #: Outstanding (replica, future, epoch) drift probes.
+        self._pending_probes: list[tuple] = []
+        self._degraded = False
         #: Summed worker-measured execution wall time (ns) of every
         #: collected batch — the numerator of replica-utilisation /
         #: idle-fraction accounting in the cluster reports.
@@ -211,6 +289,7 @@ class ServingRuntime:
                 break
             self._dispatch(batch)
         completed = self._collect()
+        self._check_probes(block=True)
         self._sample_gauges()
         return completed
 
@@ -236,8 +315,20 @@ class ServingRuntime:
             self._dispatch(batch, block=False)
         completed = self._drained
         self._drained = 0
-        while self._inflight and self._inflight[0][0].done():
-            completed += self._resolve(*self._inflight.pop(0))
+        while self._inflight and self._inflight[0].future.done():
+            completed += self._resolve(self._inflight.pop(0))
+        # A hung batch never reports done(): once the head entry blows
+        # its wall-clock deadline, force-resolve it — the timeout path
+        # inside _resolve quarantines the replica and re-dispatches, so
+        # a hang cannot wedge the cluster loop.
+        timeout_s = self.health.batch_timeout_s
+        if (
+            self._inflight
+            and timeout_s is not None
+            and time.monotonic() - self._inflight[0].t_wall > timeout_s
+        ):
+            completed += self._resolve(self._inflight.pop(0))
+        self._check_probes(block=False)
         self._sample_gauges()
         return completed
 
@@ -275,8 +366,28 @@ class ServingRuntime:
             noise_seed = batch_noise_seed(
                 self.serve_config.seed, self.batches_dispatched
             )
-        replica = self.batches_dispatched % max(self.replicas, 1)
+        # Route over the healthy set only.  With every replica healthy
+        # this is exactly the historical round-robin (index modulo the
+        # replica count), so fault-free routing — and therefore noise
+        # seeding, slab pinning, telemetry — is unchanged.
+        healthy = self.monitor.routable()
+        if not healthy:
+            self._degrade_to_serial()
+            healthy = self.monitor.routable()
+        if not healthy:
+            raise ExecutionError(
+                "no healthy replicas left to dispatch to"
+            )
+        replica = healthy[self.batches_dispatched % len(healthy)]
+        fault = None
+        if self.fault_plan is not None:
+            event = self.fault_plan.take(self.batches_dispatched)
+            if event is not None:
+                fault = event.payload
         self.batches_dispatched += 1
+        probe_every = self.health.probe_interval_batches
+        if probe_every and self.batches_dispatched % probe_every == 0:
+            self._schedule_probes()
         ship = self.spec.ship_telemetry and telemetry.enabled()
         if telemetry.enabled():
             telemetry.count(
@@ -301,34 +412,364 @@ class ServingRuntime:
             # it by the time the queue is this deep.  (``poll`` never
             # gets here: it stops dispatching at the limit instead.)
             while len(self._inflight) >= limit:
-                self._drained += self._resolve(*self._inflight.pop(0))
-        future = self.dispatcher.dispatch(
-            stacked, noise_seed, ship=ship, replica=replica
+                self._drained += self._resolve(self._inflight.pop(0))
+        future = self._safe_dispatch(
+            stacked, noise_seed, ship=ship, replica=replica, fault=fault
         )
-        self._inflight.append((future, batch, t_dispatch))
+        self._inflight.append(
+            _Inflight(
+                future=future,
+                batch=batch,
+                t_dispatch=t_dispatch,
+                payload=stacked,
+                noise_seed=noise_seed,
+                ship=ship,
+                replica=replica,
+                epoch=self._epoch_of(replica),
+                t_wall=time.monotonic(),
+            )
+        )
+
+    def _safe_dispatch(self, payload, noise_seed, ship, replica, fault=None):
+        """Dispatch, converting a synchronous pool failure to a future.
+
+        A pool whose worker already died rejects ``submit`` with
+        ``BrokenProcessPool`` *at dispatch time* — before the
+        coordinator has collected any failed batch from it.  Surfacing
+        the error through the returned future routes it into
+        :meth:`_resolve`'s normal crash-recovery path instead of
+        blowing up the dispatch loop.
+        """
+        try:
+            return self.dispatcher.dispatch(
+                payload,
+                noise_seed,
+                ship=ship,
+                replica=replica,
+                fault=fault,
+            )
+        except BrokenProcessPool as exc:
+            future: Future = Future()
+            future.set_exception(exc)
+            return future
 
     def _collect(self) -> int:
         completed = self._drained
         self._drained = 0
-        for entry in self._inflight:
-            completed += self._resolve(*entry)
-        self._inflight.clear()
+        while self._inflight:
+            completed += self._resolve(self._inflight.pop(0))
         return completed
 
-    def _resolve(self, future, batch, t_dispatch: float) -> int:
-        completed = 0
-        envelope = future.result()
+    def _epoch_of(self, replica: int) -> int:
+        if replica < len(self._replica_epoch):
+            return self._replica_epoch[replica]
+        return 0
+
+    def _resolve(self, entry: _Inflight) -> int:
+        """Collect one micro-batch, recovering from faults.
+
+        Waits out the entry's remaining deadline; on a timeout, a
+        broken pool, or a cancelled future the failed replica is
+        quarantined and restarted (at most once per restart epoch) and
+        the *same* payload re-dispatched with the *same* noise seed to
+        a healthy replica — bounded retries with exponential backoff.
+        A batch that exhausts its retries either raises or sheds its
+        requests with a recorded reason, per
+        :attr:`HealthPolicy.on_exhausted`; either way no admitted
+        request is ever silently lost.
+        """
+        policy = self.health
+        while True:
+            timeout_s = policy.batch_timeout_s
+            remaining = None
+            if timeout_s is not None:
+                remaining = max(
+                    0.0, entry.t_wall + timeout_s - time.monotonic()
+                )
+            try:
+                envelope = entry.future.result(remaining)
+                break
+            except (TimeoutError, _FuturesTimeout):
+                reason = "timeout"
+            except (BrokenProcessPool, WorkerCrash):
+                reason = "crash"
+            except CancelledError:
+                reason = "cancelled"
+            if not self._recover(entry, reason):
+                return self._fail_batch(entry, reason)
+        restart_outlier = False
+        if entry.replica < len(self.monitor.replicas):
+            restart_outlier = self.monitor.record_success(
+                entry.replica, envelope.execute_ns / 1e9
+            )
         self.busy_ns += envelope.execute_ns
         now = self.batcher.clock()
         if telemetry.enabled():
-            self._merge_worker_telemetry(envelope, t_dispatch)
-        for request, row in zip(batch, envelope.value):
+            self._merge_worker_telemetry(envelope, entry.t_dispatch)
+        completed = 0
+        for request, row in zip(entry.batch, envelope.value):
             request.result = row
             request.t_done = now
             completed += 1
             if telemetry.enabled():
                 self._record_request(request, envelope.execute_ns)
+        if restart_outlier and self._epoch_of(entry.replica) == entry.epoch:
+            # The batch itself succeeded, but the replica has now been
+            # a latency outlier `suspect_limit` times in a row: restart
+            # it proactively before it turns into a deadline miss.
+            self._restart_replica(entry.replica, "outlier")
         return completed
+
+    def _recover(self, entry: _Inflight, reason: str) -> bool:
+        """Handle one failed attempt; True when a retry was dispatched."""
+        policy = self.health
+        if entry.replica < len(self.monitor.replicas):
+            self.monitor.record_failure(entry.replica, reason)
+        # Abandon the dead future's slab slot first: the restart below
+        # reclaims (and re-generations) the replica's slots, so a late
+        # release from this future must never fire.
+        if hasattr(entry.future, "abandon"):
+            entry.future.abandon()
+        if self._epoch_of(entry.replica) == entry.epoch:
+            # First failure against this replica incarnation: it is
+            # genuinely bad (crashed pool, hung worker) — restart it.
+            # Later failures with a stale epoch came from the already-
+            # replaced pool and only need their batch re-dispatched.
+            self._restart_replica(entry.replica, reason)
+        if entry.attempts >= policy.max_retries:
+            return False
+        healthy = self.monitor.routable()
+        if not healthy:
+            self._degrade_to_serial()
+            healthy = self.monitor.routable()
+        if not healthy:
+            return False
+        if telemetry.enabled():
+            telemetry.count(
+                "serve.dispatch.retry",
+                reason=reason,
+                tenant=self.tenant,
+            )
+        backoff = policy.backoff_base_s * (
+            policy.backoff_factor**entry.attempts
+        )
+        if backoff > 0.0:
+            time.sleep(backoff)
+        entry.attempts += 1
+        replica = (
+            entry.replica
+            if entry.replica in healthy
+            else healthy[entry.attempts % len(healthy)]
+        )
+        # Same payload, same noise seed: the retried result is
+        # bit-identical to what the first dispatch would have returned.
+        entry.future = self._safe_dispatch(
+            entry.payload,
+            entry.noise_seed,
+            ship=entry.ship,
+            replica=replica,
+        )
+        entry.replica = replica
+        entry.epoch = self._epoch_of(replica)
+        entry.t_wall = time.monotonic()
+        return True
+
+    def _fail_batch(self, entry: _Inflight, reason: str) -> int:
+        """Give up on a micro-batch after its retries are exhausted."""
+        attempts = entry.attempts + 1
+        if self.health.on_exhausted == "shed":
+            for request in entry.batch:
+                request.error = reason
+            self.shed_failed += len(entry.batch)
+            if telemetry.enabled():
+                telemetry.count(
+                    "serve.shed",
+                    len(entry.batch),
+                    reason="failure",
+                    tenant=self.tenant,
+                )
+            logger.warning(
+                "shed %d request(s): micro-batch failed after %d "
+                "attempt(s) (%s)",
+                len(entry.batch),
+                attempts,
+                reason,
+            )
+            return 0
+        raise ExecutionError(
+            f"micro-batch failed after {attempts} attempt(s) ({reason})"
+        )
+
+    # -- replica lifecycle ----------------------------------------------
+
+    def _restart_replica(self, replica: int, reason: str) -> bool:
+        """Quarantine and respawn one replica; True on success.
+
+        Budget-exhausted or failed respawns retire the replica; when
+        nothing routable is left, process mode degrades to serial
+        dispatch (:meth:`_degrade_to_serial`).
+        """
+        self.monitor.quarantine(replica)
+        if replica < len(self._replica_epoch):
+            self._replica_epoch[replica] += 1
+        if not self.monitor.can_restart(replica):
+            self._retire_replica(replica)
+            return False
+        try:
+            with telemetry.span(
+                "serve.replica.restart",
+                tenant=self.tenant,
+                replica=replica,
+                reason=reason,
+            ):
+                cost = self.dispatcher.restart_replica(replica)
+        except Exception as exc:
+            logger.warning(
+                "replica %d respawn failed (%s: %s); retiring it",
+                replica,
+                type(exc).__name__,
+                exc,
+            )
+            self._retire_replica(replica)
+            return False
+        self.monitor.revive(replica)
+        self.restarts.append(
+            RestartEvent(
+                t_s=self.batcher.clock(),
+                replica=replica,
+                reason=reason,
+                cost_s=cost,
+            )
+        )
+        if telemetry.enabled():
+            telemetry.count(
+                "serve.replica.restarts",
+                reason=reason,
+                tenant=self.tenant,
+            )
+            telemetry.observe(
+                "serve.replica.restart_ms",
+                cost * 1e3,
+                tenant=self.tenant,
+            )
+        return True
+
+    def _retire_replica(self, replica: int) -> None:
+        self.monitor.retire(replica)
+        if telemetry.enabled():
+            telemetry.count(
+                "serve.replica.retired",
+                tenant=self.tenant,
+                replica=replica,
+            )
+
+    def _degrade_to_serial(self) -> None:
+        """Last-resort fallback: every replica is unhealthy.
+
+        Closes the process dispatcher (slabs and all) and serves from a
+        fresh in-process serial state — degraded throughput, but the
+        deployment keeps answering.  Serial mode has nothing further to
+        degrade to, so an all-retired serial monitor stays empty and
+        the caller sheds or raises.
+        """
+        if self._degraded or self.dispatcher.mode != "process":
+            return
+        self._degraded = True
+        logger.warning(
+            "all %d replica(s) unhealthy; degrading to serial "
+            "in-process dispatch",
+            len(self.monitor.replicas),
+        )
+        if telemetry.enabled():
+            telemetry.count(
+                "serve.dispatch.fallback",
+                reason="unhealthy",
+                tenant=self.tenant,
+            )
+        try:
+            self.dispatcher.close()
+        except Exception:  # pragma: no cover - already broken
+            pass
+        self.dispatcher = SerialDispatcher(self.spec, 1)
+        self.monitor = ReplicaHealthMonitor(1, self.health)
+        self._replica_epoch = [0]
+
+    # -- drift probes ---------------------------------------------------
+
+    def _schedule_probes(self) -> None:
+        """Submit the calibration health probe to every routable
+        replica (results are harvested by pump/poll)."""
+        if not self.spec.probe_reference:
+            return
+        pending = {(r, e) for r, _, e in self._pending_probes}
+        for replica in self.monitor.routable():
+            epoch = self._epoch_of(replica)
+            if (replica, epoch) in pending:
+                continue
+            self._pending_probes.append(
+                (replica, self.dispatcher.probe_replica(replica), epoch)
+            )
+
+    def _check_probes(self, block: bool) -> None:
+        """Harvest finished drift probes; schedule reprogramming past
+        the threshold.  A probe that errors means the worker cannot
+        answer a trivial control call — treat it like a crash."""
+        if not self._pending_probes:
+            return
+        still: list[tuple] = []
+        for replica, future, epoch in self._pending_probes:
+            if self._epoch_of(replica) != epoch:
+                continue  # replica restarted since; probe is moot
+            if not block and not future.done():
+                still.append((replica, future, epoch))
+                continue
+            try:
+                drift = future.result(pool_timeout_s())
+            except Exception:
+                self._restart_replica(replica, "probe")
+                continue
+            if replica < len(self.monitor.replicas):
+                self.monitor.replicas[replica].last_drift = drift
+            if telemetry.enabled():
+                telemetry.observe(
+                    "serve.replica.drift", drift, tenant=self.tenant
+                )
+            if drift > self.health.drift_threshold:
+                self._reprogram_replica(replica, drift)
+        self._pending_probes = still
+
+    def _reprogram_replica(self, replica: int, drift: float) -> None:
+        """Background drift recovery: rewrite the replica's arrays from
+        their stored levels (program-and-verify when the policy asks)."""
+        try:
+            with telemetry.span(
+                "serve.replica.reprogram",
+                tenant=self.tenant,
+                replica=replica,
+            ):
+                cost = self.dispatcher.reprogram_replica(replica)
+        except Exception:
+            # The worker could not even reprogram — same recovery as a
+            # failed probe: restart it (which reprograms from scratch).
+            self._restart_replica(replica, "probe")
+            return
+        self.reprograms.append(
+            ReprogramEvent(
+                t_s=self.batcher.clock(),
+                replica=replica,
+                drift=drift,
+                cost_s=cost,
+            )
+        )
+        if telemetry.enabled():
+            telemetry.count(
+                "serve.replica.reprograms", tenant=self.tenant
+            )
+            telemetry.observe(
+                "serve.replica.reprogram_ms",
+                cost * 1e3,
+                tenant=self.tenant,
+            )
 
     def _merge_worker_telemetry(self, envelope, t_dispatch: float) -> None:
         """Fold a shipped worker delta into the coordinator session.
@@ -465,6 +906,13 @@ class ServingRuntime:
                 self._drained += self._collect()
                 cost = self.dispatcher.shrink(current - replicas)
                 self.scheduler.shrink(self.name, current - replicas)
+            self.monitor.resize(replicas)
+            if replicas > len(self._replica_epoch):
+                self._replica_epoch.extend(
+                    [0] * (replicas - len(self._replica_epoch))
+                )
+            else:
+                del self._replica_epoch[replicas:]
             if telemetry.enabled():
                 telemetry.count(
                     "serve.scale_events",
@@ -517,7 +965,13 @@ class ServingRuntime:
     # -- lifecycle ------------------------------------------------------
 
     def close(self, release_banks: bool = True) -> None:
-        """Shut down workers and (optionally) release the bank grant."""
+        """Shut down workers and (optionally) release the bank grant.
+
+        Idempotent and exception-safe: a second close is a no-op, and a
+        dispatcher whose pools a crash already broke still cannot keep
+        the bank grant — the release runs even when the worker teardown
+        raises.
+        """
         if self._closed:
             return
         if self._inflight or len(self.batcher):
@@ -525,10 +979,16 @@ class ServingRuntime:
                 "cannot close with queued or in-flight requests; "
                 "pump(flush=True) first"
             )
-        self.dispatcher.close()
-        if release_banks and self.name in self.scheduler.deployments:
-            self.scheduler.release(self.name)
+        self._pending_probes = []
         self._closed = True
+        try:
+            self.dispatcher.close()
+        finally:
+            if (
+                release_banks
+                and self.name in self.scheduler.deployments
+            ):
+                self.scheduler.release(self.name)
 
     def __enter__(self) -> "ServingRuntime":
         return self

@@ -181,8 +181,19 @@ class TenantBreakdown:
     offered: int = 0
     #: Requests shed before execution, summed over reasons.
     shed: int = 0
-    #: Shed counts split by reason (``queue_depth``, ``deadline``).
+    #: Shed counts split by reason (``queue_depth``, ``deadline``,
+    #: ``failure``).
     shed_by_reason: dict[str, int] = field(default_factory=dict)
+    # -- fault-tolerance view (zero on a fault-free run) --
+    #: Micro-batch dispatch retries (``serve.dispatch.retry``), summed
+    #: over failure reasons.
+    retries: int = 0
+    #: Replica restarts (``serve.replica.restarts``), summed over
+    #: failure reasons.
+    restarts: int = 0
+    #: Drift-triggered background reprograms
+    #: (``serve.replica.reprograms``).
+    reprograms: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -227,6 +238,9 @@ class ServingReport:
                     "shed": t.shed,
                     "shed_rate": t.shed_rate,
                     "shed_by_reason": dict(t.shed_by_reason),
+                    "retries": t.retries,
+                    "restarts": t.restarts,
+                    "reprograms": t.reprograms,
                     **{
                         f"{stage}_ms": t.stage_mean_ms.get(stage, 0.0)
                         for stage in STAGES
@@ -368,6 +382,18 @@ def serving_report(
             if c.name == "serve.shed"
             and c.labels.get("tenant") == tenant
         }
+
+        def _counter_sum(name: str) -> int:
+            # Sum over extra labels (e.g. ``reason=``) for this tenant.
+            return int(
+                sum(
+                    c.value
+                    for c in metrics.counters()
+                    if c.name == name
+                    and c.labels.get("tenant") == tenant
+                )
+            )
+
         breakdowns.append(
             TenantBreakdown(
                 tenant=tenant,
@@ -382,6 +408,9 @@ def serving_report(
                 ),
                 shed=sum(shed_by_reason.values()),
                 shed_by_reason=shed_by_reason,
+                retries=_counter_sum("serve.dispatch.retry"),
+                restarts=_counter_sum("serve.replica.restarts"),
+                reprograms=_counter_sum("serve.replica.reprograms"),
                 stage_mean_ms=stage_mean,
                 stage_share=stage_share,
             )

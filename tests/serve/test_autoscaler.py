@@ -158,3 +158,38 @@ class TestStep:
         # the rate still justifies the current grant
         assert scaler.step(max_replicas=1) is None
         assert scaler.runtime.replicas == 3
+
+
+class TestRestartHysteresis:
+    def test_note_restart_seeds_then_smooths_the_ema(self):
+        scaler, clock = _autoscaler()
+        scaler.note_restart(4.0, now=1.0)
+        assert scaler._reprogram_ema_s == pytest.approx(4.0)
+        scaler.note_restart(2.0, now=2.0)
+        # EMA with alpha 0.5: 4.0 + 0.5 * (2.0 - 4.0) = 3.0
+        assert scaler._reprogram_ema_s == pytest.approx(3.0)
+        assert scaler._last_restart_s == 2.0
+
+    def test_shrinks_held_after_a_restart(self):
+        scaler, clock = _autoscaler(replicas=3, cooldown_s=1.0)
+        # Empty window → rate 0 → policy wants a shrink.
+        clock.now = 100.0
+        scaler.note_restart(5.0, now=99.0)
+        # Hold horizon: cooldown (1.0) + restart EMA (5.0) after t=99.
+        assert scaler.step() is None
+        assert scaler.runtime.replicas == 3
+        clock.now = 104.0  # still inside 99 + 6
+        assert scaler.step() is None
+        clock.now = 105.5  # past the horizon
+        event = scaler.step()
+        assert event is not None and event.direction == "shrink"
+
+    def test_grows_unaffected_by_restart_hold(self):
+        scaler, clock = _autoscaler(replicas=1)
+        scaler.note_restart(1000.0, now=0.9)
+        for t in [i * 0.005 for i in range(200)]:
+            scaler.observe(t)
+        clock.now = 1.0
+        # A crash-recovering fleet under load must still scale UP.
+        event = scaler.step()
+        assert event is not None and event.direction == "grow"
