@@ -34,7 +34,9 @@ for differential testing.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import threading
 
 import numpy as np
 
@@ -42,12 +44,41 @@ from repro import telemetry
 from repro.errors import CrossbarError
 from repro.precision.composing import split_unsigned
 
-__all__ = ["fused_enabled", "FusedLayerKernel"]
+__all__ = ["fused_enabled", "scoped_noise_stream", "FusedLayerKernel"]
 
 
 def fused_enabled() -> bool:
     """Whether the fused layer fast path is enabled (``PRIME_FUSED``)."""
     return os.environ.get("PRIME_FUSED", "1") != "0"
+
+
+#: Per-thread noise-stream override (see :func:`scoped_noise_stream`).
+_NOISE_TLS = threading.local()
+
+
+@contextlib.contextmanager
+def scoped_noise_stream(rng: np.random.Generator):
+    """Route this thread's fused noise draws through a private stream.
+
+    :meth:`FusedLayerKernel.reseed_noise` rewinds the *shared* engine
+    generator in place — correct for one evaluation at a time, but a
+    data race when thread replicas evaluate the same programmed state
+    concurrently.  Inside this context the fused noisy path seeds its
+    Philox draws from ``rng`` instead of the shared generator, without
+    mutating any shared state.  Because every kernel in a network draws
+    sequentially from one shared generator, running a whole forward
+    pass under ``scoped_noise_stream(kernel.noise_stream(seed))``
+    reproduces ``reseed_noise(seed)`` + forward bit for bit.
+
+    The override is thread-local: other threads (and this thread once
+    the context exits) keep using the engines' shared stream.
+    """
+    prev = getattr(_NOISE_TLS, "rng", None)
+    _NOISE_TLS.rng = rng
+    try:
+        yield
+    finally:
+        _NOISE_TLS.rng = prev
 
 
 class FusedLayerKernel:
@@ -121,6 +152,9 @@ class FusedLayerKernel:
         self._g_neg: np.ndarray | None = None
         self._even_idx: np.ndarray | None = None
         self._odd_idx: np.ndarray | None = None
+        # Serialises engine-counter charging: the read-only math is
+        # re-entrant, but ``engine.mvm_invocations += batch`` is not.
+        self._charge_lock = threading.Lock()
 
     # -- fuse decision ------------------------------------------------
 
@@ -213,6 +247,25 @@ class FusedLayerKernel:
             )
         fresh = np.random.Generator(type(self._rng.bit_generator)(seed))
         self._rng.bit_generator.state = fresh.bit_generator.state
+
+    def noise_stream(self, seed: int) -> np.random.Generator:
+        """A private generator whose draws match ``reseed_noise(seed)``.
+
+        :meth:`reseed_noise` resets the shared generator to exactly the
+        state a fresh ``Generator(bit_generator(seed))`` starts in, so
+        consuming this private stream in evaluation order reproduces
+        the shared stream bit for bit — without mutating it.  Thread
+        replicas wrap each task in
+        :func:`scoped_noise_stream` around this generator to keep
+        noise-on results per-batch deterministic and routing-independent
+        while racing over one shared programmed copy.
+        """
+        if self._rng is None or not self._rng_shared:
+            raise CrossbarError(
+                "engines do not share one RNG; per-batch noise "
+                "reseeding is undefined"
+            )
+        return np.random.Generator(type(self._rng.bit_generator)(seed))
 
     # -- execution ----------------------------------------------------
 
@@ -424,7 +477,10 @@ class FusedLayerKernel:
         n = codes.shape[0]
         drive = self._stacked_inputs(codes, params.rows)
         sigma = dev.read_noise_sigma
-        seed = int(self._rng.integers(np.iinfo(np.int64).max))
+        rng = getattr(_NOISE_TLS, "rng", None)
+        if rng is None:
+            rng = self._rng
+        seed = int(rng.integers(np.iinfo(np.int64).max))
         noise = np.random.Generator(np.random.Philox(seed)).standard_normal(
             (2,) + g_pos.shape
         )
@@ -547,10 +603,13 @@ class FusedLayerKernel:
         part per used column per vector.
         """
         active = self._active_parts(output_shift)
-        for row in self.tiles:
-            for engine in row:
-                engine.mvm_invocations += batch
-                engine.sense.conversions += active * batch * engine.cols_used
+        with self._charge_lock:
+            for row in self.tiles:
+                for engine in row:
+                    engine.mvm_invocations += batch
+                    engine.sense.conversions += (
+                        active * batch * engine.cols_used
+                    )
         if not telemetry.enabled():
             return
         firings = batch * self.row_blocks * self.col_blocks

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 
 import numpy as np
 
@@ -58,6 +59,7 @@ __all__ = [
     "plan_compile_enabled",
     "PlanFallbackWarning",
     "PlanCompileError",
+    "PlanWorkspace",
     "CompiledPlan",
 ]
 
@@ -110,6 +112,25 @@ def plan_compile_enabled() -> bool:
     return True
 
 
+class PlanWorkspace:
+    """One lease's worth of scratch stores, one dict per plan step.
+
+    Every mutable hot-path buffer a :class:`CompiledPlan` touches lives
+    here (keyed per step by batch width), so two executions holding
+    *different* workspaces never write the same array — the shared plan
+    keeps only read-only weight/conductance stacks and compile-time
+    constants.  Leased/released by :meth:`CompiledPlan.execute`; the
+    pool hands a thread its previous workspace back (LIFO), so steady
+    per-thread traffic reuses warm buffers exactly like the old
+    per-plan cache did.
+    """
+
+    __slots__ = ("stores",)
+
+    def __init__(self, n_steps: int) -> None:
+        self.stores: list[dict] = [{} for _ in range(n_steps)]
+
+
 class _ForwardStep:
     """A non-weight layer: plain ``layer.forward``."""
 
@@ -121,7 +142,9 @@ class _ForwardStep:
     def valid(self) -> bool:
         return True
 
-    def run(self, act: np.ndarray, with_noise: bool) -> np.ndarray:
+    def run(
+        self, act: np.ndarray, with_noise: bool, store: dict
+    ) -> np.ndarray:
         return self.layer.forward(act)
 
 
@@ -246,9 +269,12 @@ class _WeightStep:
             pos += self.sub_counts[i] * PACKED_SUB_ROWS
         self.pack_gather = gather
         self.pack_ones = np.ones(max(self.sub_counts), dtype=np.float32)
+        # Shared lazy caches: read-only once built, and a concurrent
+        # duplicate build is idempotent (deterministic values), so they
+        # stay on the step; mutable scratch lives in the leased
+        # :class:`PlanWorkspace` stores instead.
         self._w_pack: np.ndarray | None = None
         self._im2col: dict[tuple, tuple] = {}
-        self._buffers: dict[int, dict] = {}
 
     # -- compile-time pieces -------------------------------------------
 
@@ -290,12 +316,17 @@ class _WeightStep:
             self._w_pack = w_pack
         return self._w_pack
 
-    def _buffer_set(self, n: int, packed: bool) -> dict:
-        """Preallocated working set for ``n`` input vectors."""
-        buffers = self._buffers.get(n)
+    def _buffer_set(self, n: int, packed: bool, store: dict) -> dict:
+        """Preallocated working set for ``n`` input vectors.
+
+        ``store`` is this step's slot in the executing lease's
+        :class:`PlanWorkspace` — never shared between concurrent
+        executions, so everything below may be written in place.
+        """
+        buffers = store.get(n)
         if buffers is None:
-            if len(self._buffers) >= _MAX_BUFFER_SETS:
-                self._buffers.pop(next(iter(self._buffers)))
+            if len(store) >= _MAX_BUFFER_SETS:
+                store.pop(next(iter(store)))
             # One extra column past the bias row: the all-zero sentinel
             # the packed gather map points tail padding at.  It stays
             # zero forever (quantising zero yields zero halves).
@@ -313,7 +344,7 @@ class _WeightStep:
             }
             buffers["vecs"][:, -2] = 1.0
             buffers["vecs"][:, -1] = 0.0
-            self._buffers[n] = buffers
+            store[n] = buffers
         if packed and "drive_pack" not in buffers:
             buffers["drive_pack"] = np.empty(
                 (self.S, 2 * n, PACKED_SUB_ROWS), dtype=np.float32
@@ -355,15 +386,19 @@ class _WeightStep:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, act: np.ndarray, with_noise: bool) -> np.ndarray:
+    def run(
+        self, act: np.ndarray, with_noise: bool, store: dict
+    ) -> np.ndarray:
         if telemetry.enabled():
             with telemetry.span(
                 "executor.layer", layer=type(self.layer).__name__
             ):
-                return self._run(act, with_noise)
-        return self._run(act, with_noise)
+                return self._run(act, with_noise, store)
+        return self._run(act, with_noise, store)
 
-    def _run(self, act: np.ndarray, with_noise: bool) -> np.ndarray:
+    def _run(
+        self, act: np.ndarray, with_noise: bool, store: dict
+    ) -> np.ndarray:
         spatial = None
         if self.is_conv:
             if act.ndim != 4:
@@ -386,19 +421,19 @@ class _WeightStep:
             with_noise and self.kernel._noisy(True)
         )
         if not inline:
-            result = self._delegate(vectors, with_noise)
+            result = self._delegate(vectors, with_noise, store)
         else:
-            result = self._inline(vectors)
+            result = self._inline(vectors, store)
         if spatial is not None:
             b, oh, ow = spatial
             result = result.reshape(b, oh, ow, -1)
         return result
 
-    def _delegate(self, vectors: np.ndarray, with_noise: bool):
+    def _delegate(self, vectors: np.ndarray, with_noise: bool, store: dict):
         """The interpreter's math (kernel dispatch included), with the
         bias column staged through the persistent buffer."""
         n = vectors.shape[0]
-        buffers = self._buffer_set(n, packed=False)
+        buffers = self._buffer_set(n, packed=False, store=store)
         vecs = buffers["vecs"]
         vecs[:, : self.total_rows - 1] = vectors
         codes = self.in_fmt.quantize_int(
@@ -431,10 +466,10 @@ class _WeightStep:
         lo += q
         return hi, lo
 
-    def _inline(self, vectors: np.ndarray) -> np.ndarray:
+    def _inline(self, vectors: np.ndarray, store: dict) -> np.ndarray:
         n = vectors.shape[0]
         packed = self.packed_ok and n <= PACKED_MAX_VECS
-        buffers = self._buffer_set(n, packed)
+        buffers = self._buffer_set(n, packed, store=store)
         hi, lo = self._quantize_split(vectors, buffers)
         counts = buffers["counts"]
         if packed:
@@ -550,6 +585,52 @@ class CompiledPlan:
         self.layers = list(layers)
         self.pin = pin
         self.steps = steps
+        # Workspace lease pool: each concurrent execute() holds its own
+        # scratch stores, making the plan re-entrant over the shared
+        # read-only weight stacks (thread replicas, PR 10).
+        self._ws_lock = threading.Lock()
+        self._ws_free: list[PlanWorkspace] = []
+        self._ws_allocated = 0
+
+    # -- workspace leasing ---------------------------------------------
+
+    def _lease(self) -> PlanWorkspace:
+        with self._ws_lock:
+            if self._ws_free:
+                return self._ws_free.pop()
+            self._ws_allocated += 1
+        return PlanWorkspace(len(self.steps))
+
+    def _release(self, workspace: PlanWorkspace) -> None:
+        with self._ws_lock:
+            self._ws_free.append(workspace)
+
+    @property
+    def workspaces_allocated(self) -> int:
+        """Workspaces ever created (peak concurrency watermark)."""
+        with self._ws_lock:
+            return self._ws_allocated
+
+    @property
+    def leases_outstanding(self) -> int:
+        """Workspaces currently held by an in-flight execution."""
+        with self._ws_lock:
+            return self._ws_allocated - len(self._ws_free)
+
+    def prewarm(self, count: int) -> None:
+        """Ensure at least ``count`` workspaces exist in the pool.
+
+        Scale-up cost for a thread replica is exactly this: allocate
+        scratch stores (microseconds), never re-program weights.
+        """
+        with self._ws_lock:
+            missing = count - self._ws_allocated
+            if missing <= 0:
+                return
+            self._ws_allocated += missing
+            self._ws_free.extend(
+                PlanWorkspace(len(self.steps)) for _ in range(missing)
+            )
 
     @classmethod
     def compile(
@@ -600,12 +681,20 @@ class CompiledPlan:
     def execute(self, act: np.ndarray, with_noise: bool = False):
         """One chunk's pass through the flat step list.
 
-        The final activation is copied out when the last step is a
-        weight layer: its inline path returns a persistent buffer that
-        the next chunk would otherwise overwrite in place.
+        Re-entrant: each call leases a private :class:`PlanWorkspace`
+        for its scratch buffers (released in ``finally``, so the pool
+        returns to full even when a step raises) while the weight
+        stacks stay shared and read-only.  The final activation is
+        copied out when the last step is a weight layer: its inline
+        path returns a workspace buffer that the workspace's next
+        execution would otherwise overwrite in place.
         """
-        for step in self.steps:
-            act = step.run(act, with_noise)
-        if isinstance(self.steps[-1], _WeightStep):
-            act = act.copy()
+        workspace = self._lease()
+        try:
+            for step, store in zip(self.steps, workspace.stores):
+                act = step.run(act, with_noise, store)
+            if isinstance(self.steps[-1], _WeightStep):
+                act = act.copy()
+        finally:
+            self._release(workspace)
         return act

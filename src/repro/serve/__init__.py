@@ -12,9 +12,12 @@ compile/program/run pipeline into a resident service:
   wide matmuls.
 * :mod:`repro.serve.dispatcher` — replica-parallel dispatch: each
   :class:`~repro.core.scheduler.BankScheduler` replica bank group maps
-  to a persistent worker (process pool, serial in-process fallback)
-  that programs the network **exactly once** and serves every batch
-  from the cached programmed state with frozen calibration.
+  to a persistent worker (process pool, replica threads over one
+  shared programmed copy, serial in-process fallback) that programs
+  the network **exactly once** and serves every batch from the cached
+  programmed state with frozen calibration.  ``PRIME_DISPATCH``
+  steers ``mode="auto"`` deployments; see the README's dispatch-mode
+  matrix.
 * :mod:`repro.serve.runtime` — :class:`ServingRuntime` glues grant,
   batcher, and dispatcher together and carries the bit-identity
   guarantee against a direct ``run_functional`` call.
@@ -71,12 +74,16 @@ from repro.serve.cluster import (
 from repro.serve.dispatcher import (
     ProcessDispatcher,
     SerialDispatcher,
+    ThreadDispatcher,
     WorkerSpec,
     batch_noise_seed,
+    dispatch_mode,
     make_dispatcher,
     pool_timeout_s,
     program_state,
     run_programmed,
+    run_programmed_shared,
+    spec_resident_bytes,
 )
 from repro.serve.health import (
     FaultEvent,
@@ -116,11 +123,15 @@ __all__ = [
     "ServeConfig",
     "ServeRequest",
     "ServingRuntime",
+    "ThreadDispatcher",
     "WorkerCrash",
     "WorkerSpec",
     "batch_noise_seed",
+    "dispatch_mode",
     "make_dispatcher",
     "pool_timeout_s",
     "program_state",
     "run_programmed",
+    "run_programmed_shared",
+    "spec_resident_bytes",
 ]

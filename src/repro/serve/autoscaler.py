@@ -46,6 +46,13 @@ class AutoscalerPolicy:
     window_s: float = 0.25
     #: Minimum gap between two scaling actions.
     cooldown_s: float = 0.5
+    #: Minimum gap before a *grow* specifically; ``None`` inherits
+    #: ``cooldown_s``.  Thread-dispatch tenants set this near zero:
+    #: their scale-up allocates only scratch buffers on the shared
+    #: programmed copy (microseconds, no crossbar reprogramming), so
+    #: there is no churn cost to gate and growth can track load
+    #: instantly.  Shrinks always keep the full ``cooldown_s``.
+    grow_cooldown_s: float | None = None
     #: Grow when rate > target_utilization * capacity.
     target_utilization: float = 0.8
     #: Shrink only when rate < shrink_margin * capacity of the
@@ -65,6 +72,8 @@ class AutoscalerPolicy:
             )
         if self.window_s <= 0 or self.cooldown_s < 0:
             raise ConfigurationError("invalid window/cooldown")
+        if self.grow_cooldown_s is not None and self.grow_cooldown_s < 0:
+            raise ConfigurationError("grow_cooldown_s must be >= 0")
         if not 0 < self.target_utilization <= 1:
             raise ConfigurationError(
                 "target_utilization must be in (0, 1]"
@@ -198,7 +207,15 @@ class Autoscaler:
         Returns the executed :class:`ScaleEvent`, or ``None``.
         """
         now = self.clock() if now is None else now
-        if now - self._last_action_s < self.policy.cooldown_s:
+        since_action = now - self._last_action_s
+        if since_action < min(
+            self.policy.cooldown_s,
+            (
+                self.policy.cooldown_s
+                if self.policy.grow_cooldown_s is None
+                else self.policy.grow_cooldown_s
+            ),
+        ):
             return None
         current = self.runtime.replicas
         rate_rps = self.rate(now)
@@ -206,6 +223,14 @@ class Autoscaler:
         if max_replicas is not None:
             want = min(want, max(max_replicas, current))
         if want == current:
+            return None
+        # Direction-specific cooldown: grows may use the (shorter)
+        # ``grow_cooldown_s`` — near-free on thread dispatch — while
+        # shrinks always honour the full ``cooldown_s``.
+        cooldown = self.policy.cooldown_s
+        if want > current and self.policy.grow_cooldown_s is not None:
+            cooldown = self.policy.grow_cooldown_s
+        if since_action < cooldown:
             return None
         if want < current and now - self._last_restart_s < (
             self.policy.cooldown_s + self._reprogram_ema_s

@@ -297,6 +297,14 @@ class ServingCluster:
         self.scheduler = BankScheduler(config)
         self._states: list[_TenantState] = []
         try:
+            # Two-phase deploy: constructing every runtime with
+            # ``defer_spawn`` starts all tenants' process-pool workers
+            # forking and programming concurrently; only then does
+            # ``finish_deploy`` await each in turn.  Cluster startup
+            # wall time is therefore bounded by the slowest single
+            # replica's program cost, not the tenant x replica sum.
+            # (Thread/serial tenants have no spawn to defer — their
+            # finish_deploy is a no-op.)
             for spec in tenants:
                 runtime = ServingRuntime(
                     spec.network,
@@ -309,6 +317,7 @@ class ServingCluster:
                     clock=clock,
                     health=spec.health,
                     fault_plan=spec.fault_plan,
+                    defer_spawn=True,
                 )
                 autoscaler = (
                     Autoscaler(runtime, spec.autoscaler, clock=self.clock)
@@ -318,6 +327,8 @@ class ServingCluster:
                 self._states.append(
                     _TenantState(spec, runtime, autoscaler)
                 )
+            for state in self._states:
+                state.runtime.finish_deploy()
         except BaseException:
             self.close()
             raise

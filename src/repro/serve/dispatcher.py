@@ -36,13 +36,19 @@ is reproducible and routing-independent too.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import os
 import pickle
 import signal
+import threading
 import time
 import warnings
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -58,6 +64,7 @@ from repro.device.faults import env_fault_rates
 from repro.errors import ConfigurationError
 from repro.nn.network import Sequential
 from repro.params.prime import PrimeConfig
+from repro.perf.kernels import fused_enabled, scoped_noise_stream
 from repro.perf.parallel import ParallelFallbackWarning, task_seed
 from repro.resilience.policy import ResiliencePolicy
 from repro.serve.health import WorkerCrash, apply_drift
@@ -68,12 +75,18 @@ __all__ = [
     "ShmRef",
     "shm_enabled",
     "pool_timeout_s",
+    "dispatch_mode",
     "batch_noise_seed",
     "program_state",
     "run_programmed",
+    "run_programmed_shared",
     "reprogram_state",
+    "spec_resident_bytes",
     "SerialDispatcher",
+    "ThreadDispatcher",
     "ProcessDispatcher",
+    "POOL_SPAWN_FAILURES",
+    "serial_fallback",
     "make_dispatcher",
 ]
 
@@ -135,6 +148,50 @@ def shm_enabled() -> bool:
     )
     telemetry.count("perf.env.invalid", knob="PRIME_SHM")
     return True
+
+
+def dispatch_mode() -> str | None:
+    """Dispatch-mode override (``PRIME_DISPATCH``).
+
+    ``serial`` | ``thread`` | ``process`` force that dispatcher
+    wherever a deployment asks for ``mode="auto"``; unset (or
+    ``auto``) keeps the automatic choice.  Explicit per-deployment
+    modes always win — the env knob only steers ``auto``.  Bad values
+    log a warning and keep the default rather than raising at deploy
+    time, mirroring the other ``PRIME_*`` knobs.
+    """
+    env = os.environ.get("PRIME_DISPATCH", "").strip().lower()
+    if not env or env == "auto":
+        return None
+    if env in ("serial", "thread", "process"):
+        return env
+    logger.warning(
+        "PRIME_DISPATCH must be serial, thread, process, or auto, got "
+        "%r; keeping the default (auto)",
+        env,
+    )
+    telemetry.count("perf.env.invalid", knob="PRIME_DISPATCH")
+    return None
+
+
+#: Programmed state held per crossbar cell: the int16 MLC level plus
+#: the float64 conductance (see :class:`~repro.device.cell.CellArray`).
+_CELL_STATE_BYTES = 10
+
+
+def spec_resident_bytes(spec: WorkerSpec) -> int:
+    """Programmed-crossbar footprint of ONE copy of ``spec``'s network.
+
+    Every mat pair of every mapped weight layer holds a differential
+    array pair whose per-cell state is the stored MLC level plus the
+    programmed conductance.  This is the per-replica RAM the dispatch
+    modes multiply differently: thread mode shares one copy across all
+    replica threads, serial/process mode hold one per replica — the
+    ``serve.replica.resident_bytes`` gauge makes that visible.
+    """
+    xbar = spec.config.crossbar
+    per_pair = 2 * xbar.rows * xbar.cols * _CELL_STATE_BYTES
+    return sum(m.pairs * per_pair for m in spec.plan.weight_layers)
 
 
 @dataclass(frozen=True)
@@ -517,6 +574,45 @@ def run_programmed(
     return result
 
 
+def run_programmed_shared(
+    spec: WorkerSpec,
+    executor: PrimeExecutor,
+    programmed: list[ProgrammedLayer],
+    batch: np.ndarray,
+    noise_seed: int | None = None,
+) -> np.ndarray:
+    """Serve one micro-batch from *shared* programmed state, mutation-free.
+
+    The thread-replica twin of :func:`run_programmed`: instead of
+    rewinding the engines' shared noise generator in place (a data race
+    when several threads serve off one programmed copy), the noisy path
+    routes this thread's draws through a private stream seeded
+    identically (:meth:`~repro.perf.kernels.FusedLayerKernel.noise_stream`
+    under :func:`~repro.perf.kernels.scoped_noise_stream`) — results
+    are bit-identical to the reseed path, batch by batch, and nothing
+    shared is written.
+    """
+    start = time.perf_counter() if spec.pace_batch_s else 0.0
+    if spec.with_noise and noise_seed is not None:
+        stream = programmed[0].kernel.noise_stream(noise_seed)
+        ctx = scoped_noise_stream(stream)
+    else:
+        ctx = contextlib.nullcontext()
+    with ctx:
+        result = executor.run_functional(
+            spec.network,
+            spec.plan,
+            batch,
+            programmed=programmed,
+            with_noise=spec.with_noise,
+        )
+    if spec.pace_batch_s:
+        remaining = spec.pace_batch_s - (time.perf_counter() - start)
+        if remaining > 0.0:
+            time.sleep(remaining)
+    return result
+
+
 # ----------------------------------------------------------------------
 # process-pool worker entry points (module-level for pickling)
 # ----------------------------------------------------------------------
@@ -839,9 +935,367 @@ class SerialDispatcher:
         self.replicas -= replicas
         return 0.0
 
+    def resident_bytes(self) -> int:
+        """Programmed-state RAM this dispatcher holds: one copy for the
+        shared initial replicas plus one per grown state."""
+        return spec_resident_bytes(self.spec) * max(1, len(self._states))
+
     def close(self) -> None:
         self._states = []
         self._init_delta = None
+
+
+class _StateLock:
+    """Reader-writer lock over one shared programmed state.
+
+    Micro-batches are pure reads of the frozen weight/conductance
+    stacks and take the read side concurrently; state mutations (drift
+    injection, background reprogramming, first-batch calibration, and
+    the serialised fallback execution path) take the exclusive write
+    side.  Writers are preferred — a pending writer blocks new readers
+    — so reprogramming cannot starve behind a steady batch stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextlib.contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class ThreadDispatcher:
+    """N replica threads serving ONE shared programmed copy per tenant.
+
+    PRIME's replicas share *stationary* programmed weights; process
+    replicas emulate that with one private copy (and one programming
+    pass) per OS process, paying spawn + program on every scale-up and
+    IPC on every batch.  Thread replicas instead run against a single
+    :func:`program_state` copy: fused/compiled execution is pure
+    read-only NumPy matmuls over frozen conductance stacks (and NumPy
+    releases the GIL inside them), so per-replica single-thread pools
+    evaluate concurrently while
+
+    * batch payloads and results move as plain ndarray references —
+      zero-copy by construction, no slabs, no pickling;
+    * scale-up allocates only per-thread scratch workspaces
+      (:meth:`~repro.perf.plan.CompiledPlan.prewarm` — microseconds,
+      vs fork + program for a process replica);
+    * N replicas cost one weight-copy of RAM instead of N
+      (:meth:`resident_bytes`).
+
+    Noise-on batches draw from private per-task streams
+    (:func:`run_programmed_shared`), so results stay
+    routing-independent and bit-identical to
+    ``ServingRuntime.reference`` in both regimes.  Workloads whose
+    kernels cannot take the re-entrant fused path (remapped tiles,
+    non-ideal arrays with noise off, per-engine noise fallbacks)
+    serialise every batch under the state write lock — correct, just
+    without parallel speedup.
+
+    Fault model: threads cannot be SIGKILLed.  An injected ``kill``
+    surfaces as :class:`WorkerCrash`; a ``hang`` really sleeps but
+    wakes early when its replica's cancellation event fires —
+    :meth:`restart_replica` is cooperative cancellation plus a fresh
+    pool (cost: microseconds), and the runtime's existing
+    quarantine/retire/degrade-to-serial machinery does the rest.
+    ``drift`` mutates the *shared* copy (all replicas see it — one
+    copy is the point), and :meth:`reprogram_replica` heals all
+    replicas at once for the same reason.
+    """
+
+    mode = "thread"
+
+    def __init__(self, spec: WorkerSpec, replicas: int = 1) -> None:
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        self.spec = spec
+        # One programmed copy, made on the coordinator thread — with
+        # telemetry on, its programming/calibration records straight
+        # into the live session (no scratch-session shipping, which
+        # swaps a process-global and is not thread-safe).
+        executor, programmed = program_state(spec)
+        self._state: tuple | None = (
+            executor,
+            programmed,
+            capture_reference(spec, executor, programmed),
+        )
+        self._lock = _StateLock()
+        self._calibrated = spec.calibration is not None
+        self._parallel = self._probe_parallel(programmed)
+        if not self._parallel and telemetry.enabled():
+            telemetry.count("serve.dispatch.thread_serialized")
+        self._pools: list[ThreadPoolExecutor] = []
+        self._cancels: list[threading.Event] = []
+        self._rr = 0
+        for _ in range(replicas):
+            self._add_replica()
+        self._prewarm_workspaces()
+
+    def _probe_parallel(self, programmed) -> bool:
+        """Whether concurrent execution over the shared copy is safe.
+
+        Exactly the regimes whose hot paths are re-entrant: the fused
+        noise-free integer path and the fused noisy path (under
+        per-task private noise streams).  Anything that would fall to
+        the per-engine tile walk — remapped tiles, non-ideal arrays
+        with noise off, split RNGs, ``PRIME_FUSED=0`` — serialises
+        under the write lock instead.
+        """
+        if not fused_enabled():
+            return False
+        kernels = [entry.kernel for entry in programmed]
+        return all(
+            k.can_fuse(with_noise=self.spec.with_noise) for k in kernels
+        )
+
+    def _add_replica(self) -> None:
+        index = len(self._pools)
+        self._cancels.append(threading.Event())
+        self._pools.append(
+            ThreadPoolExecutor(
+                max_workers=1,
+                thread_name_prefix=f"serve-replica-{index}",
+            )
+        )
+
+    def _prewarm_workspaces(self) -> None:
+        """Pre-lease one plan workspace per replica thread.
+
+        The entire scale-up cost of a thread replica: when the shared
+        copy already carries a compiled plan (a calibration batch at
+        program time compiles it), the new thread's scratch buffers
+        are allocated here instead of on its first batch.
+        """
+        state = self._state
+        if state is None:
+            return
+        plan = getattr(state[1][0], "compiled_plan", None)
+        if plan is not None:
+            plan.prewarm(len(self._pools))
+
+    @property
+    def replicas(self) -> int:
+        return len(self._pools)
+
+    @property
+    def inflight_limit(self) -> int | None:
+        """Same pipelining depth process mode gets from its slab
+        slots: a few batches in flight per replica keeps every thread
+        busy without unbounded queue growth."""
+        return _SLAB_SLOTS * max(1, len(self._pools))
+
+    def resident_bytes(self) -> int:
+        """One programmed copy, however many replica threads serve it."""
+        return spec_resident_bytes(self.spec)
+
+    def _task(
+        self,
+        batch: np.ndarray,
+        noise_seed: int | None,
+        fault: tuple | None,
+        cancel: threading.Event,
+        replica: int,
+    ) -> ResultEnvelope:
+        if cancel.is_set():
+            raise WorkerCrash("replica thread retired")
+        state = self._state
+        if state is None:
+            raise WorkerCrash("dispatcher closed")
+        spec = self.spec
+        executor, programmed, _ = state
+        if fault is not None:
+            if fault[0] == "kill":
+                # Threads cannot be SIGKILLed; the injected crash
+                # surfaces as an exception the runtime's crash
+                # recovery handles like a dead worker.
+                raise WorkerCrash("injected kill fault")
+            if fault[0] == "hang":
+                # A real stall — but cooperative: the replica's
+                # cancellation event (set by restart_replica) wakes it
+                # early, so a hung thread never outlives its recovery.
+                if cancel.wait(fault[1]):
+                    raise WorkerCrash("hung task cancelled cooperatively")
+        start = time.perf_counter_ns()
+        if self._parallel and self._calibrated:
+            with self._lock.read():
+                result = run_programmed_shared(
+                    spec, executor, programmed, batch, noise_seed
+                )
+        else:
+            # Exclusive: either the first batch still has calibration
+            # to freeze (a state mutation), or this workload's kernels
+            # cannot take the re-entrant path at all.
+            with self._lock.write():
+                if self._parallel:
+                    result = run_programmed_shared(
+                        spec, executor, programmed, batch, noise_seed
+                    )
+                else:
+                    result = run_programmed(
+                        spec, executor, programmed, batch, noise_seed
+                    )
+                self._calibrated = True
+        execute_ns = time.perf_counter_ns() - start
+        if fault is not None:
+            if fault[0] == "slow":
+                execute_ns += int(fault[1] * 1e9)
+            elif fault[0] == "drift":
+                with self._lock.write():
+                    apply_drift(programmed, fault[1], fault[2])
+        return ResultEnvelope(
+            value=result, worker=replica, execute_ns=execute_ns
+        )
+
+    def dispatch(
+        self,
+        batch: np.ndarray,
+        noise_seed: int | None = None,
+        ship: bool = False,
+        replica: int | None = None,
+        fault: tuple | None = None,
+    ) -> Future:
+        # ``ship`` is accepted for interface parity but moot: thread
+        # workers record telemetry inline into the live session (the
+        # registry and tracer are lock-guarded and the span stack is
+        # thread-local), so there is no delta to ship back.
+        if replica is None:
+            replica = self._rr
+            self._rr = (self._rr + 1) % len(self._pools)
+        else:
+            replica %= len(self._pools)
+        return self._pools[replica].submit(
+            self._task,
+            batch,
+            noise_seed,
+            fault,
+            self._cancels[replica],
+            replica,
+        )
+
+    def restart_replica(self, replica: int) -> float:
+        """Cooperatively cancel and replace one replica thread.
+
+        Sets the replica's cancellation event (waking a hung task),
+        retires its pool without waiting, and installs a fresh
+        single-thread pool with warm workspaces.  The shared
+        programmed state needs no re-programming — the thread was the
+        problem, not the copy — so the measured cost is buffer
+        allocation, microseconds.
+        """
+        replica %= len(self._pools)
+        start = time.perf_counter()
+        self._cancels[replica].set()
+        try:
+            self._pools[replica].shutdown(
+                wait=False, cancel_futures=True
+            )
+        except Exception:  # pragma: no cover - pool already broken
+            pass
+        self._cancels[replica] = threading.Event()
+        self._pools[replica] = ThreadPoolExecutor(
+            max_workers=1,
+            thread_name_prefix=f"serve-replica-{replica}",
+        )
+        self._prewarm_workspaces()
+        return time.perf_counter() - start
+
+    def _probe_task(self) -> float:
+        state = self._state
+        if state is None:
+            raise WorkerCrash("dispatcher closed")
+        executor, programmed, cal_ref = state
+        lock = self._lock.read() if self._parallel else self._lock.write()
+        with lock:
+            return drift_distance(self.spec, executor, programmed, cal_ref)
+
+    def probe_replica(self, replica: int) -> Future:
+        """Submit the drift health probe to one replica's thread."""
+        return self._pools[replica % len(self._pools)].submit(
+            self._probe_task
+        )
+
+    def reprogram_replica(self, replica: int) -> float:
+        """Re-program the shared copy from its stored levels.
+
+        Taken under the exclusive write lock (in-flight batches finish
+        first, queued ones wait), and because every replica serves the
+        same copy, one reprogramming heals them all.  Returns the
+        measured wall seconds.
+        """
+        state = self._state
+        if state is None:
+            raise WorkerCrash("dispatcher closed")
+        start = time.perf_counter()
+        with self._lock.write():
+            reprogram_state(self.spec, state[1])
+        return time.perf_counter() - start
+
+    def grow(self, replicas: int = 1) -> float:
+        """Add replica threads; returns the measured wall seconds.
+
+        No programming, no fork: a new single-thread pool plus
+        prewarmed scratch workspaces — the microsecond-scale scale-up
+        the autoscaler's measured-cost EMA then reflects.
+        """
+        if replicas < 1:
+            raise ConfigurationError("grow needs replicas >= 1")
+        start = time.perf_counter()
+        for _ in range(replicas):
+            self._add_replica()
+        self._prewarm_workspaces()
+        return time.perf_counter() - start
+
+    def shrink(self, replicas: int = 1) -> float:
+        """Retire the newest replica threads (drained by the caller)."""
+        if replicas >= len(self._pools):
+            raise ConfigurationError("cannot shrink below one replica")
+        for _ in range(replicas):
+            self._cancels.pop().set()
+            self._pools.pop().shutdown(wait=False, cancel_futures=True)
+        self._rr %= len(self._pools)
+        return 0.0
+
+    def close(self) -> None:
+        """Cancel every replica thread and drop the shared copy."""
+        for cancel in self._cancels:
+            cancel.set()
+        for pool in self._pools:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._pools = []
+        self._cancels = []
+        self._state = None
 
 
 class _ShmFuture:
@@ -924,6 +1378,7 @@ class ProcessDispatcher:
         spec: WorkerSpec,
         replicas: int,
         slab_shape: tuple[int, int, int] | None = None,
+        defer_spawn: bool = False,
     ) -> None:
         if replicas < 1:
             raise ConfigurationError("replicas must be >= 1")
@@ -942,8 +1397,19 @@ class ProcessDispatcher:
         self._pools: list[ProcessPoolExecutor] = []
         self._pids: list[int] = []
         self._rr = 0
+        #: In-flight deferred spawn: ``(pools, probes)`` whose workers
+        #: are forking and programming in the background, not yet
+        #: awaited.  With ``defer_spawn`` the constructor returns as
+        #: soon as the probes are submitted, so a multi-tenant deploy
+        #: starts every tenant's programming concurrently and only then
+        #: awaits them (:meth:`finish_spawn`) — cluster startup wall
+        #: time stops scaling with tenant x replica count.
+        self._pending_spawn: tuple[list, list] | None = None
         try:
-            self._spawn(replicas)
+            if defer_spawn:
+                self._pending_spawn = self._begin_spawn(replicas)
+            else:
+                self._spawn(replicas)
         except BaseException:
             self.close()
             raise
@@ -979,32 +1445,49 @@ class ProcessDispatcher:
 
     @property
     def replicas(self) -> int:
-        return len(self._pools)
+        pending = getattr(self, "_pending_spawn", None)
+        return len(self._pools) + (len(pending[0]) if pending else 0)
 
-    def _spawn(self, n: int) -> None:
-        """Start ``n`` replica pools and wait for their workers.
+    def _begin_spawn(self, n: int) -> tuple[list, list]:
+        """Start ``n`` replica pools without awaiting their workers.
 
-        Programming happens in the pool initializer, so an environment
-        that cannot host a pool (no fork, broken pickling) fails here,
-        where ``make_dispatcher`` can still fall back to serial, not on
-        the first real request.  The ping probes are submitted to every
-        new pool before any is awaited, so replica programming
-        overlaps.  The new pools only join :attr:`_pools` once every
-        probe has answered — a partial spawn failure shuts the batch of
-        new pools down and leaves the dispatcher exactly as it was, so
-        a later ``grow()`` retry starts clean.
+        Creating the pools and submitting the ping probes is what
+        actually kicks off each worker's fork + one-time
+        ``program_state`` (the pool initializer runs before the probe
+        can answer), so after this returns all ``n`` replicas are
+        programming concurrently in the background.  The returned
+        ``(pools, probes)`` must be passed to :meth:`_finish_spawn`
+        before the pools are used.
         """
-        pools = []
+        pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_pool_init,
+                initargs=(self._payload,),
+            )
+            for _ in range(n)
+        ]
         try:
-            pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_pool_init,
-                    initargs=(self._payload,),
-                )
-                for _ in range(n)
-            ]
             probes = [pool.submit(_pool_ping) for pool in pools]
+        except BaseException:
+            for pool in pools:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            raise
+        return pools, probes
+
+    def _finish_spawn(self, pending: tuple[list, list]) -> None:
+        """Await a batch of started pools and adopt them.
+
+        The new pools only join :attr:`_pools` once every probe has
+        answered — a partial spawn failure shuts the batch of new pools
+        down and leaves the dispatcher exactly as it was, so a later
+        ``grow()`` retry starts clean.
+        """
+        pools, probes = pending
+        try:
             timeout = pool_timeout_s()
             pids = []
             for probe in probes:
@@ -1023,6 +1506,33 @@ class ProcessDispatcher:
             raise
         self._pools.extend(pools)
         self._pids.extend(pids)
+
+    def _spawn(self, n: int) -> None:
+        """Start ``n`` replica pools and wait for their workers.
+
+        Programming happens in the pool initializer, so an environment
+        that cannot host a pool (no fork, broken pickling) fails here,
+        where ``make_dispatcher`` can still fall back to serial, not on
+        the first real request.  The ping probes are submitted to every
+        new pool before any is awaited (:meth:`_begin_spawn`), so
+        replica programming overlaps.
+        """
+        self._finish_spawn(self._begin_spawn(n))
+
+    def finish_spawn(self) -> None:
+        """Await a construction-time deferred spawn, if one is pending.
+
+        Idempotent; every dispatch/control entry point calls it, so a
+        caller that never explicitly finishes a deferred deploy still
+        gets a fully-spawned dispatcher on first use.  A spawn failure
+        propagates here (once — the pending batch is consumed), where
+        the deployer can still fall back to serial.
+        """
+        pending = self._pending_spawn
+        if pending is None:
+            return
+        self._pending_spawn = None
+        self._finish_spawn(pending)
 
     @property
     def inflight_limit(self) -> int | None:
@@ -1045,6 +1555,7 @@ class ProcessDispatcher:
         replica: int | None = None,
         fault: tuple | None = None,
     ) -> Future:
+        self.finish_spawn()
         if replica is None:
             replica = self._rr
             self._rr = (self._rr + 1) % len(self._pools)
@@ -1089,6 +1600,7 @@ class ProcessDispatcher:
         — kill + fork + one-time ``program_state``.  Raises when the
         respawn itself fails; the caller retires the replica then.
         """
+        self.finish_spawn()
         replica %= len(self._pools)
         start = time.perf_counter()
         pid = self._pids[replica]
@@ -1129,6 +1641,7 @@ class ProcessDispatcher:
 
     def probe_replica(self, replica: int) -> Future:
         """Submit the drift health probe to one replica's worker."""
+        self.finish_spawn()
         return self._pools[replica % len(self._pools)].submit(
             _pool_drift_probe
         )
@@ -1136,6 +1649,7 @@ class ProcessDispatcher:
     def reprogram_replica(self, replica: int) -> float:
         """Re-program a drifted replica in its worker (blocking);
         returns the measured worker-side wall seconds."""
+        self.finish_spawn()
         pool = self._pools[replica % len(self._pools)]
         return pool.submit(_pool_reprogram).result(
             timeout=pool_timeout_s()
@@ -1150,6 +1664,7 @@ class ProcessDispatcher:
         """
         if replicas < 1:
             raise ConfigurationError("grow needs replicas >= 1")
+        self.finish_spawn()
         start = time.perf_counter()
         self._spawn(replicas)
         if self._slabs is not None:
@@ -1164,6 +1679,7 @@ class ProcessDispatcher:
         inflight batch first — a held slab slot on a retiring replica
         raises rather than corrupting the slab pool.
         """
+        self.finish_spawn()
         if replicas >= len(self._pools):
             raise ConfigurationError("cannot shrink below one replica")
         for _ in range(replicas):
@@ -1174,6 +1690,10 @@ class ProcessDispatcher:
         self._rr %= len(self._pools)
         return 0.0
 
+    def resident_bytes(self) -> int:
+        """Programmed-state RAM: one private copy per replica worker."""
+        return spec_resident_bytes(self.spec) * max(1, self.replicas)
+
     def close(self) -> None:
         """Shut every pool down and release the slabs.
 
@@ -1182,6 +1702,14 @@ class ProcessDispatcher:
         a broken pool's shutdown can raise, and that must not leak the
         shared memory the other replicas hold.
         """
+        pending = getattr(self, "_pending_spawn", None)
+        if pending is not None:
+            self._pending_spawn = None
+            for pool in pending[0]:
+                try:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover - best effort
+                    pass
         for pool in self._pools:
             try:
                 pool.shutdown(wait=False, cancel_futures=True)
@@ -1196,55 +1724,93 @@ class ProcessDispatcher:
                 self._slabs = None
 
 
+#: Exceptions a pool spawn can die with in environments that cannot
+#: host worker processes (no fork, broken pickling, sandboxed
+#: semaphores, slow-start timeouts) — exactly the set ``"auto"`` mode
+#: degrades to serial on, exported so deferred-spawn finishers
+#: (``ServingRuntime.finish_deploy``) apply the same policy.
+POOL_SPAWN_FAILURES = (
+    OSError,
+    AttributeError,
+    TimeoutError,
+    _FuturesTimeout,
+    BrokenProcessPool,
+    pickle.PicklingError,
+)
+
+
+def serial_fallback(
+    spec: WorkerSpec, replicas: int, exc: BaseException
+) -> SerialDispatcher:
+    """Degrade a failed pool deployment to a serial dispatcher.
+
+    The standard announcement trio — log, a
+    :class:`~repro.perf.parallel.ParallelFallbackWarning`, and a
+    ``serve.dispatch.fallback`` counter — then the in-process
+    dispatcher with identical results.
+    """
+    logger.warning(
+        "serve worker pool unavailable (%s: %s); dispatching "
+        "serially in-process",
+        type(exc).__name__,
+        exc,
+    )
+    warnings.warn(
+        f"serve worker pool unavailable ({type(exc).__name__}); "
+        "dispatching serially in-process",
+        ParallelFallbackWarning,
+        stacklevel=3,
+    )
+    telemetry.count(
+        "serve.dispatch.fallback", reason=type(exc).__name__
+    )
+    return SerialDispatcher(spec, replicas)
+
+
 def make_dispatcher(
     spec: WorkerSpec,
     replicas: int,
     mode: str = "auto",
     slab_shape: tuple[int, int, int] | None = None,
+    defer_spawn: bool = False,
 ):
     """Build the replica dispatcher for a deployment.
 
-    ``mode="process"``/``"auto"`` try the persistent pool first;
-    ``"auto"`` degrades to serial (with a
-    :class:`~repro.perf.parallel.ParallelFallbackWarning` and a
-    ``serve.dispatch.fallback`` counter) when no pool can be created,
-    while ``"process"`` propagates the failure.  ``mode="serial"``
-    skips the pool entirely.  ``slab_shape`` (max_batch, input elems,
-    output elems — the runtime derives it from the micro-batcher and
-    the plan's widest layer) sizes the shared-memory payload slabs of
-    process mode.
+    ``mode="thread"`` runs replica threads over one shared programmed
+    copy; ``mode="process"``/``"auto"`` try the persistent pool first,
+    where ``"auto"`` degrades to serial (:func:`serial_fallback`) when
+    no pool can be created while ``"process"`` propagates the failure.
+    ``mode="serial"`` skips both.  A ``PRIME_DISPATCH`` environment
+    override (:func:`dispatch_mode`) steers ``"auto"`` deployments
+    only — explicit modes always win.  ``slab_shape`` (max_batch,
+    input elems, output elems — the runtime derives it from the
+    micro-batcher and the plan's widest layer) sizes the shared-memory
+    payload slabs of process mode.  ``defer_spawn`` makes process-mode
+    construction return with its workers still forking/programming in
+    the background; the first use (or an explicit
+    ``finish_spawn()``/``finish_deploy()``) awaits them.
     """
-    if mode not in ("auto", "process", "serial"):
+    if mode not in ("auto", "thread", "process", "serial"):
         raise ConfigurationError(
-            f"serve mode must be auto|process|serial, got {mode!r}"
+            "serve mode must be auto|thread|process|serial, got "
+            f"{mode!r}"
         )
+    if mode == "auto":
+        override = dispatch_mode()
+        if override is not None:
+            mode = override
     if mode == "serial" or (mode == "auto" and replicas <= 1):
         return SerialDispatcher(spec, replicas)
+    if mode == "thread":
+        return ThreadDispatcher(spec, replicas)
     try:
-        return ProcessDispatcher(spec, replicas, slab_shape=slab_shape)
-    except (
-        OSError,
-        AttributeError,
-        TimeoutError,
-        _FuturesTimeout,
-        BrokenProcessPool,
-        pickle.PicklingError,
-    ) as exc:
+        return ProcessDispatcher(
+            spec,
+            replicas,
+            slab_shape=slab_shape,
+            defer_spawn=defer_spawn,
+        )
+    except POOL_SPAWN_FAILURES as exc:
         if mode == "process":
             raise
-        logger.warning(
-            "serve worker pool unavailable (%s: %s); dispatching "
-            "serially in-process",
-            type(exc).__name__,
-            exc,
-        )
-        warnings.warn(
-            f"serve worker pool unavailable ({type(exc).__name__}); "
-            "dispatching serially in-process",
-            ParallelFallbackWarning,
-            stacklevel=2,
-        )
-        telemetry.count(
-            "serve.dispatch.fallback", reason=type(exc).__name__
-        )
-        return SerialDispatcher(spec, replicas)
+        return serial_fallback(spec, replicas, exc)

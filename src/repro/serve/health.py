@@ -67,6 +67,16 @@ class WorkerCrash(Exception):
     process worker dies for real instead, surfacing as
     ``BrokenProcessPool``).  The runtime treats both identically:
     quarantine the replica, restart it, re-dispatch the batch.
+
+    Thread mode (:class:`~repro.serve.dispatcher.ThreadDispatcher`)
+    maps the same semantics onto workers that *cannot* be SIGKILLed:
+    an injected ``kill`` raises this directly, and a hung replica
+    thread parks on its cancellation event so ``restart_replica`` —
+    set the event, retire the pool, start a fresh thread — wakes it
+    into this exception instead of orphaning it.  Quarantine, retire,
+    restart budgets, and the degrade-to-serial last resort all apply
+    unchanged; only the mechanism is cooperative cancellation rather
+    than process death.
     """
 
 

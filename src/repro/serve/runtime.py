@@ -45,6 +45,7 @@ from repro.serve.batcher import (
     ServeRequest,
 )
 from repro.serve.dispatcher import (
+    POOL_SPAWN_FAILURES,
     SerialDispatcher,
     WorkerSpec,
     batch_noise_seed,
@@ -52,6 +53,7 @@ from repro.serve.dispatcher import (
     pool_timeout_s,
     program_state,
     run_programmed,
+    serial_fallback,
 )
 from repro.serve.health import (
     FaultPlan,
@@ -108,7 +110,9 @@ class ServeConfig:
     max_batch_cap: int = 256
     #: Maximum queueing delay before a partial batch ships.
     max_wait_s: float = DEFAULT_MAX_WAIT_S
-    #: Dispatch mode: ``auto`` | ``process`` | ``serial``.
+    #: Dispatch mode: ``auto`` | ``thread`` | ``process`` | ``serial``
+    #: (``auto`` honours the ``PRIME_DISPATCH`` env override; see the
+    #: dispatch-mode matrix in the README's Serving section).
     mode: str = "auto"
     #: Seed for programming and per-batch noise streams.
     seed: int = 0
@@ -141,6 +145,7 @@ class ServingRuntime:
         clock=None,
         health: HealthPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        defer_spawn: bool = False,
     ) -> None:
         self.config = config
         self.serve_config = serve_config or ServeConfig()
@@ -206,7 +211,9 @@ class ServingRuntime:
                 replicas=self.deployment.replicas,
                 mode=self.serve_config.mode,
                 slab_shape=(max_batch, widest, widest),
+                defer_spawn=defer_spawn,
             )
+            self._record_resident_bytes()
         #: Micro-batches dispatched so far (also the per-batch noise
         #: stream index and the chaos harness's fault-event index) —
         #: retries never advance it, so retried batches keep their
@@ -260,6 +267,52 @@ class ServingRuntime:
     def mode(self) -> str:
         """Dispatch mode actually in effect (after any fallback)."""
         return self.dispatcher.mode
+
+    def _record_resident_bytes(self) -> None:
+        """Refresh the per-tenant programmed-state footprint gauge.
+
+        ``serve.replica.resident_bytes`` is the RAM the dispatcher's
+        programmed copies occupy — thread mode reports ~one copy no
+        matter the replica count, serial/process report one per
+        replica — sampled at deploy, after every scale event, and after
+        a degrade, so the shared-copy memory win shows up in
+        ``serving_report``.
+        """
+        if not telemetry.enabled():
+            return
+        resident = getattr(self.dispatcher, "resident_bytes", None)
+        if resident is None:
+            return
+        telemetry.gauge(
+            "serve.replica.resident_bytes",
+            resident(),
+            tenant=self.tenant,
+        )
+
+    def finish_deploy(self) -> None:
+        """Await a deferred-spawn deploy, applying the fallback policy.
+
+        No-op for dispatchers without a pending spawn.  A pool that
+        failed to come up degrades to serial exactly as a synchronous
+        ``mode="auto"`` deploy would (warning + fallback counter),
+        while an explicit ``mode="process"`` propagates the failure.
+        """
+        finish = getattr(self.dispatcher, "finish_spawn", None)
+        if finish is None:
+            return
+        try:
+            finish()
+        except POOL_SPAWN_FAILURES as exc:
+            if self.serve_config.mode == "process":
+                raise
+            try:
+                self.dispatcher.close()
+            except Exception:  # pragma: no cover - already broken
+                pass
+            self.dispatcher = serial_fallback(self.spec, 1, exc)
+            self.monitor = ReplicaHealthMonitor(1, self.health)
+            self._replica_epoch = [0]
+            self._record_resident_bytes()
 
     # -- serving --------------------------------------------------------
 
@@ -390,6 +443,11 @@ class ServingRuntime:
             self._schedule_probes()
         ship = self.spec.ship_telemetry and telemetry.enabled()
         if telemetry.enabled():
+            telemetry.count(
+                "serve.dispatch.batches",
+                mode=self.dispatcher.mode,
+                tenant=self.tenant,
+            )
             telemetry.count(
                 "serve.replica_batches",
                 replica=replica,
@@ -666,13 +724,21 @@ class ServingRuntime:
     def _degrade_to_serial(self) -> None:
         """Last-resort fallback: every replica is unhealthy.
 
-        Closes the process dispatcher (slabs and all) and serves from a
-        fresh in-process serial state — degraded throughput, but the
-        deployment keeps answering.  Serial mode has nothing further to
-        degrade to, so an all-retired serial monitor stays empty and
-        the caller sheds or raises.
+        Closes the parallel dispatcher — slabs and pools in process
+        mode, cooperatively-cancelled replica threads in thread mode
+        (threads cannot be SIGKILLed; closing sets every replica's
+        cancellation event, so even a hung thread wakes and retires
+        without taking a request with it) — and serves from a fresh
+        in-process serial state: degraded throughput, but the
+        deployment keeps answering and no admitted request is silently
+        lost.  Serial mode has nothing further to degrade to, so an
+        all-retired serial monitor stays empty and the caller sheds or
+        raises.
         """
-        if self._degraded or self.dispatcher.mode != "process":
+        if self._degraded or self.dispatcher.mode not in (
+            "process",
+            "thread",
+        ):
             return
         self._degraded = True
         logger.warning(
@@ -693,6 +759,7 @@ class ServingRuntime:
         self.dispatcher = SerialDispatcher(self.spec, 1)
         self.monitor = ReplicaHealthMonitor(1, self.health)
         self._replica_epoch = [0]
+        self._record_resident_bytes()
 
     # -- drift probes ---------------------------------------------------
 
@@ -925,6 +992,7 @@ class ServingRuntime:
                     tenant=self.tenant,
                     direction=direction,
                 )
+            self._record_resident_bytes()
         return cost
 
     # -- cross-checks ---------------------------------------------------

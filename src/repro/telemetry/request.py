@@ -194,6 +194,12 @@ class TenantBreakdown:
     #: Drift-triggered background reprograms
     #: (``serve.replica.reprograms``).
     reprograms: int = 0
+    # -- memory view --
+    #: Programmed-state RAM the tenant's dispatcher holds
+    #: (``serve.replica.resident_bytes`` gauge): thread dispatch keeps
+    #: ~one weight copy regardless of replica count, serial/process
+    #: hold one per replica.
+    resident_bytes: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -241,6 +247,7 @@ class ServingReport:
                     "retries": t.retries,
                     "restarts": t.restarts,
                     "reprograms": t.reprograms,
+                    "resident_bytes": t.resident_bytes,
                     **{
                         f"{stage}_ms": t.stage_mean_ms.get(stage, 0.0)
                         for stage in STAGES
@@ -411,6 +418,12 @@ def serving_report(
                 retries=_counter_sum("serve.dispatch.retry"),
                 restarts=_counter_sum("serve.replica.restarts"),
                 reprograms=_counter_sum("serve.replica.reprograms"),
+                resident_bytes=int(
+                    metrics.gauge_value(
+                        "serve.replica.resident_bytes", tenant=tenant
+                    )
+                    or 0
+                ),
                 stage_mean_ms=stage_mean,
                 stage_share=stage_share,
             )

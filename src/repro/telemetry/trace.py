@@ -111,10 +111,20 @@ class Tracer:
         self.lock = threading.RLock()
         self.spans: list[SpanRecord] = []
         self.model_events: list[ModelEvent] = []
-        self._stack: list[SpanRecord] = []
+        # The open-span stack is thread-local: thread replicas record
+        # their own span nests into the shared span list without a
+        # worker's ``end_span`` unwinding the coordinator's open spans.
+        self._tls = threading.local()
         #: Per-track cursor (ns) so callers can append model events
         #: sequentially without tracking their own time base.
         self._model_cursors: dict[str, float] = {}
+
+    @property
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def to_session_ns(self, t_s: float) -> int:
         """Convert a ``time.perf_counter()`` reading (seconds) to this

@@ -1,0 +1,385 @@
+"""Thread-parallel dispatch over one shared programmed copy.
+
+The contract under test: ``ThreadDispatcher`` runs N replica threads
+against a *single* ``program_state`` per tenant and stays bit-identical
+to the serial oracle — across racing threads, interleaved batch widths,
+and both noise regimes (noise-on routes each task's draws through a
+private stream seeded exactly like the reseed path).  Scale-up
+allocates only scratch workspaces, the lease pool returns to full
+after exceptions, resident memory reports ~one weight copy however
+many threads serve it, and the ``PRIME_DISPATCH`` knob follows the
+warn-and-default pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.nn.topology import parse_topology
+from repro.params.crossbar import CrossbarParams
+from repro.params.memory import MemoryOrganization
+from repro.params.prime import PrimeConfig
+from repro.params.reram import PT_TIO2_DEVICE
+from repro.resilience import ResiliencePolicy
+from repro.serve import ServeConfig, ServingRuntime
+from repro.serve.dispatcher import (
+    ThreadDispatcher,
+    batch_noise_seed,
+    dispatch_mode,
+    program_state,
+    run_programmed,
+    spec_resident_bytes,
+)
+from repro.serve.health import FaultEvent, FaultPlan, HealthPolicy
+from repro.telemetry.request import serving_report
+
+pytestmark = pytest.mark.serve
+
+NOISE_FREE = dataclasses.replace(
+    PT_TIO2_DEVICE, programming_sigma=0.0, read_noise_sigma=0.0
+)
+SMALL_ORG = MemoryOrganization(
+    subarrays_per_bank=8,
+    mats_per_subarray=16,
+    mat_rows=32,
+    mat_cols=32,
+)
+TOPOLOGY = parse_topology("serve-tiny", "24-20-6")
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _small_config(device=NOISE_FREE) -> PrimeConfig:
+    return PrimeConfig(
+        crossbar=CrossbarParams(
+            rows=32, cols=32, sense_amps=8, device=device
+        ),
+        organization=SMALL_ORG,
+        resilience=ResiliencePolicy(),
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    return TOPOLOGY.build(rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return np.random.default_rng(11).standard_normal((20, 24))
+
+
+def _runtime(network, samples, **kw):
+    serve_kw = dict(mode="thread", max_batch=5)
+    serve_kw.update(kw.pop("serve", {}))
+    defaults = dict(
+        config=_small_config(),
+        serve_config=ServeConfig(**serve_kw),
+        calibration=samples,
+        max_replicas=2,
+    )
+    defaults.update(kw)
+    return ServingRuntime(network, TOPOLOGY, **defaults)
+
+
+class TestDispatchKnob:
+    def test_default_auto(self):
+        assert dispatch_mode() is None
+
+    def test_valid_values(self, monkeypatch):
+        for value in ("serial", "thread", "process"):
+            monkeypatch.setenv("PRIME_DISPATCH", value)
+            assert dispatch_mode() == value
+        monkeypatch.setenv("PRIME_DISPATCH", "auto")
+        assert dispatch_mode() is None
+
+    def test_invalid_value_warns_and_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("PRIME_DISPATCH", "fibers")
+        session = telemetry.enable(fresh=True)
+        assert dispatch_mode() is None
+        assert (
+            session.metrics.counter_value(
+                "perf.env.invalid", knob="PRIME_DISPATCH"
+            )
+            == 1
+        )
+
+    def test_env_steers_auto_deployments(
+        self, network, samples, monkeypatch
+    ):
+        monkeypatch.setenv("PRIME_DISPATCH", "thread")
+        with _runtime(
+            network, samples, serve=dict(mode="auto")
+        ) as runtime:
+            assert runtime.mode == "thread"
+
+    def test_explicit_mode_beats_env(
+        self, network, samples, monkeypatch
+    ):
+        monkeypatch.setenv("PRIME_DISPATCH", "thread")
+        with _runtime(
+            network, samples, serve=dict(mode="serial")
+        ) as runtime:
+            assert runtime.mode == "serial"
+
+
+class TestThreadBitIdentity:
+    def test_runtime_matches_reference_both_regimes(
+        self, network, samples
+    ):
+        for with_noise, device in (
+            (False, NOISE_FREE),
+            (True, PT_TIO2_DEVICE),
+        ):
+            with _runtime(
+                network,
+                samples,
+                config=_small_config(device),
+                serve=dict(mode="thread", with_noise=with_noise),
+            ) as runtime:
+                assert runtime.mode == "thread"
+                assert runtime.dispatcher._parallel
+                served = runtime.serve(samples)
+                for i, lo in enumerate(range(0, len(samples), 5)):
+                    reference = runtime.reference(
+                        samples[lo : lo + 5], batch_index=i
+                    )
+                    np.testing.assert_array_equal(
+                        served[lo : lo + 5], reference
+                    )
+
+    def test_eight_thread_stress_interleaved_widths(
+        self, network, samples
+    ):
+        """8 racing threads, batch widths interleaved 1..5: every
+        result bit-identical to a fresh serial state, and the shared
+        plan's workspace leases all return."""
+        with _runtime(network, samples) as runtime:
+            disp = runtime.dispatcher
+            assert isinstance(disp, ThreadDispatcher)
+            disp.grow(6)
+            assert disp.replicas == 8
+            spec = runtime.spec
+            batches = [
+                np.ascontiguousarray(samples[: 1 + (i % 5)])
+                for i in range(64)
+            ]
+            futures = [disp.dispatch(b) for b in batches]
+            results = [f.result(timeout=300.0).value for f in futures]
+            executor, programmed = program_state(spec)
+            for batch, result in zip(batches, results):
+                expected = run_programmed(
+                    spec, executor, programmed, batch
+                )
+                np.testing.assert_array_equal(result, expected)
+            plan = disp._state[1][0].compiled_plan
+            if plan is not None:
+                assert plan.leases_outstanding == 0
+                assert plan.workspaces_allocated >= 1
+
+    def test_noise_on_reproducible_under_racing_threads(
+        self, network, samples
+    ):
+        """Each per-batch-index noise seed reproduces bit-exactly no
+        matter which of 8 racing threads serves it — dispatched twice
+        concurrently, both runs equal the serial reseed oracle."""
+        with _runtime(
+            network,
+            samples,
+            config=_small_config(PT_TIO2_DEVICE),
+            serve=dict(mode="thread", with_noise=True, seed=7),
+        ) as runtime:
+            disp = runtime.dispatcher
+            disp.grow(6)
+            spec = runtime.spec
+            indices = list(range(12))
+            seeds = [batch_noise_seed(7, i) for i in indices]
+            batch = np.ascontiguousarray(samples[:4])
+            futures = [
+                disp.dispatch(batch, seed)
+                for seed in seeds
+                for _ in range(2)
+            ]
+            results = [f.result(timeout=300.0).value for f in futures]
+            executor, programmed = program_state(spec)
+            for pos, seed in enumerate(seeds):
+                expected = run_programmed(
+                    spec, executor, programmed, batch, seed
+                )
+                np.testing.assert_array_equal(
+                    results[2 * pos], expected
+                )
+                np.testing.assert_array_equal(
+                    results[2 * pos + 1], expected
+                )
+
+    def test_one_program_pass_however_many_threads(
+        self, network, samples
+    ):
+        telemetry.enable(fresh=True)
+        with _runtime(network, samples) as runtime:
+            runtime.dispatcher.grow(6)
+            runtime.serve(samples)
+            assert telemetry.counter_total("serve.programs") == 1
+            assert (
+                telemetry.counter_total("serve.dispatch.batches") == 4
+            )
+
+
+class TestWorkspaceLeases:
+    def test_leases_return_after_exceptions(self, network, samples):
+        """A batch that explodes mid-plan must hand its workspace
+        back — the pool's lease accounting returns to full."""
+        with _runtime(network, samples) as runtime:
+            runtime.serve(samples)  # compiles the shared plan
+            plan = runtime.dispatcher._state[1][0].compiled_plan
+            if plan is None:
+                pytest.skip("plan compilation disabled here")
+            allocated = plan.workspaces_allocated
+            assert plan.leases_outstanding == 0
+            for _ in range(3):
+                with pytest.raises(Exception):
+                    plan.execute(np.ones((2, 3)))  # wrong input width
+            assert plan.leases_outstanding == 0
+            # Failed leases were released for reuse, not abandoned.
+            assert plan.workspaces_allocated <= allocated + 1
+            served = runtime.serve(samples)
+            reference = runtime.reference(samples)
+        np.testing.assert_array_equal(served, reference)
+
+    def test_grow_prewarns_workspaces(self, network, samples):
+        """Scale-up cost is scratch allocation: after grow, the plan
+        holds at least one free workspace per replica thread."""
+        with _runtime(network, samples) as runtime:
+            runtime.serve(samples)
+            plan = runtime.dispatcher._state[1][0].compiled_plan
+            if plan is None:
+                pytest.skip("plan compilation disabled here")
+            cost = runtime.scale_to(4)
+            assert cost < 1.0  # no fork, no reprogramming
+            assert plan.workspaces_allocated >= 4
+
+
+class TestResidentBytes:
+    def test_thread_mode_holds_one_copy(self, network, samples):
+        with _runtime(network, samples) as runtime:
+            one_copy = spec_resident_bytes(runtime.spec)
+            assert runtime.dispatcher.resident_bytes() == one_copy
+            runtime.scale_to(4)
+            # Four replica threads, still one programmed copy.
+            assert runtime.dispatcher.resident_bytes() == one_copy
+
+    def test_process_mode_holds_one_copy_per_replica(
+        self, network, samples
+    ):
+        with _runtime(
+            network, samples, serve=dict(mode="process")
+        ) as runtime:
+            if runtime.mode != "process":
+                pytest.skip("no process pool support here")
+            assert (
+                runtime.dispatcher.resident_bytes()
+                == 2 * spec_resident_bytes(runtime.spec)
+            )
+
+    def test_gauge_reaches_serving_report(self, network, samples):
+        session = telemetry.enable(fresh=True)
+        with _runtime(network, samples) as runtime:
+            runtime.scale_to(4)
+            runtime.serve(samples)
+            expected = spec_resident_bytes(runtime.spec)
+            tenant = runtime.tenant
+        report = serving_report(session)
+        row = next(t for t in report.tenants if t.tenant == tenant)
+        assert row.resident_bytes == expected
+        assert (
+            report.to_json()["tenants"][0]["resident_bytes"] == expected
+        )
+
+
+@pytest.mark.chaos
+class TestThreadChaos:
+    def test_injected_kill_recovers_bit_identical(
+        self, network, samples
+    ):
+        plan = FaultPlan.of(FaultEvent(batch_index=1, kind="kill"))
+        with _runtime(
+            network,
+            samples,
+            fault_plan=plan,
+            health=HealthPolicy(backoff_base_s=0.0),
+        ) as runtime:
+            served = runtime.serve(samples)
+            reference = runtime.reference(samples)
+            assert plan.remaining == 0
+            assert len(runtime.restarts) == 1
+            assert runtime.restarts[0].reason == "crash"
+            # Thread restart = cooperative cancel + fresh pool +
+            # scratch buffers: no fork, no reprogramming.
+            assert runtime.restarts[0].cost_s < 1.0
+        np.testing.assert_array_equal(served, reference)
+
+    def test_hung_thread_cancelled_cooperatively(
+        self, network, samples
+    ):
+        """A replica thread sleeping 60s trips the 1s deadline; its
+        cancellation event wakes it immediately on restart — the run
+        (and teardown) must finish far inside the hang duration."""
+        plan = FaultPlan.of(
+            FaultEvent(batch_index=0, kind="hang", duration_s=60.0)
+        )
+        health = HealthPolicy(batch_timeout_s=1.0, backoff_base_s=0.0)
+        start = time.monotonic()
+        with _runtime(
+            network, samples, fault_plan=plan, health=health
+        ) as runtime:
+            served = runtime.serve(samples)
+            reference = runtime.reference(samples)
+            assert len(runtime.restarts) == 1
+            assert runtime.restarts[0].reason == "timeout"
+        assert time.monotonic() - start < 30.0
+        np.testing.assert_array_equal(served, reference)
+
+    def test_degrade_to_serial_zero_request_loss(
+        self, network, samples
+    ):
+        """Every replica thread retired (restart budget zero): the
+        runtime degrades to serial and still answers every admitted
+        request bit-identically — nothing shed, nothing lost."""
+        plan = FaultPlan.of(
+            FaultEvent(batch_index=0, kind="kill"),
+            FaultEvent(batch_index=1, kind="kill"),
+        )
+        health = HealthPolicy(
+            max_restarts_per_replica=0, backoff_base_s=0.0
+        )
+        telemetry.enable(fresh=True)
+        with _runtime(
+            network, samples, fault_plan=plan, health=health
+        ) as runtime:
+            requests = [runtime.submit(x) for x in samples]
+            runtime.pump(flush=True)
+            assert runtime.mode == "serial"
+            assert runtime.shed_failed == 0
+            assert all(r.done and r.error is None for r in requests)
+            served = np.stack([r.result for r in requests])
+            reference = runtime.reference(samples)
+        assert (
+            telemetry.counter_value(
+                "serve.dispatch.fallback",
+                reason="unhealthy",
+                tenant=runtime.tenant,
+            )
+            == 1
+        )
+        np.testing.assert_array_equal(served, reference)

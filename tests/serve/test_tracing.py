@@ -88,9 +88,20 @@ def _runtime(network, samples, mode, max_replicas=2, **serve_kw):
 def _counter_totals(session) -> dict:
     # ``serve.dispatch.shm_*`` counts the payload transport (shared
     # memory vs pickling), which only exists in process mode; every
-    # model/hardware counter must still match bit-identically.
+    # model/hardware counter must still match bit-identically.  The
+    # ``mode=`` label names the dispatch mode by design — strip it so
+    # the *counts* still have to match across modes.
     return {
-        (c.name, tuple(sorted(c.labels.items()))): c.value
+        (
+            c.name,
+            tuple(
+                sorted(
+                    (k, v)
+                    for k, v in c.labels.items()
+                    if k != "mode"
+                )
+            ),
+        ): c.value
         for c in session.metrics.counters()
         if not c.name.startswith("serve.dispatch.shm_")
     }
